@@ -1,0 +1,117 @@
+// Command hauberk-inject runs a SWIFI fault-injection campaign against one
+// benchmark program (Section VII/VIII) and prints the five-way outcome
+// classification per error-bit count.
+//
+// Usage:
+//
+//	hauberk-inject -program CP                      # Hauberk-protected (FI&FT)
+//	hauberk-inject -program CP -mode fi             # baseline sensitivity
+//	hauberk-inject -program MRI-FHD -sites 50 -masks 50 -bits 1,3,6,10,15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hauberk/internal/core/translate"
+	"hauberk/internal/harness"
+	"hauberk/internal/workloads"
+)
+
+func main() {
+	var (
+		program = flag.String("program", "CP", "benchmark program name")
+		mode    = flag.String("mode", "fi+ft", "fi (baseline sensitivity) or fi+ft (Hauberk coverage)")
+		sites   = flag.Int("sites", 30, "max virtual variables to inject into")
+		masks   = flag.Int("masks", 50, "random error masks per variable")
+		bits    = flag.String("bits", "1,3,6,10,15", "comma-separated error bit counts")
+		workers = flag.Int("workers", 8, "parallel injection workers")
+	)
+	flag.Parse()
+
+	spec := workloads.ByName(*program)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
+		os.Exit(2)
+	}
+	var m translate.Mode
+	switch *mode {
+	case "fi":
+		m = translate.ModeFI
+	case "fi+ft", "fift":
+		m = translate.ModeFIFT
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	bitCounts, err := parseBits(*bits)
+	check(err)
+
+	scale := harness.FullScale()
+	scale.MaxSites = *sites
+	scale.MasksPerSite = *masks
+	scale.BitCounts = bitCounts
+	scale.Workers = *workers
+	env := harness.NewEnv(scale)
+
+	ds := workloads.Dataset{Index: 0}
+	golden, err := env.Golden(spec, ds)
+	check(err)
+	prof, err := env.Profile(spec, []workloads.Dataset{ds})
+	check(err)
+	plan := env.PlanCampaign(spec, prof, bitCounts)
+	fmt.Printf("%s: injecting %d faults (%d sites x %d masks, %s mode)\n",
+		spec.Name, len(plan), min(len(prof.Sites), *sites), *masks, m)
+
+	cr, err := env.RunCampaign(spec, golden, prof.Store, m, plan)
+	check(err)
+
+	tbl := &harness.Table{
+		Title:  fmt.Sprintf("%s fault injection outcomes (%s)", spec.Name, m),
+		Header: []string{"bits", "runs", "failure %", "masked %", "det&masked %", "detected %", "undetected %", "coverage %"},
+	}
+	var keys []int
+	for b := range cr.ByBits {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	for _, b := range keys {
+		t := cr.ByBits[b]
+		tbl.AddRow(fmt.Sprintf("%d", b), t.Total(),
+			100*t.Frac(harness.OutcomeFailure), 100*t.Frac(harness.OutcomeMasked),
+			100*t.Frac(harness.OutcomeDetectedMasked), 100*t.Frac(harness.OutcomeDetected),
+			100*t.Frac(harness.OutcomeUndetected), 100*t.Coverage())
+	}
+	tbl.AddRow("all", cr.All.Total(),
+		100*cr.All.Frac(harness.OutcomeFailure), 100*cr.All.Frac(harness.OutcomeMasked),
+		100*cr.All.Frac(harness.OutcomeDetectedMasked), 100*cr.All.Frac(harness.OutcomeDetected),
+		100*cr.All.Frac(harness.OutcomeUndetected), 100*cr.All.Coverage())
+	fmt.Print(tbl.Render())
+	fmt.Printf("hangs detected by the guardian watchdog: %d\n", cr.Hangs)
+}
+
+func parseBits(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad bit count %q", p)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no bit counts")
+	}
+	return out, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command hauberk-report regenerates the paper's evaluation tables and
+// figures. Each figure of the paper maps to one table here; see DESIGN.md
+// for the per-experiment index.
+//
+// Usage:
+//
+//	hauberk-report -fig all -scale quick
+//	hauberk-report -fig 13 -scale full
+//	hauberk-report -fig all -scale full -md > EXPERIMENTS-data.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hauberk/internal/harness"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,10,13,14,15,16,alpha,instr,all")
+		scale = flag.String("scale", "quick", "experiment scale: quick or full")
+		md    = flag.Bool("md", false, "emit markdown instead of text tables")
+	)
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scale {
+	case "quick":
+		sc = harness.QuickScale()
+	case "full":
+		sc = harness.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	env := harness.NewEnv(sc)
+
+	var tables []*harness.Table
+	var err error
+	switch *fig {
+	case "all":
+		tables, err = harness.AllFigures(env)
+	case "1":
+		tables, err = one(harness.Fig01(env))
+	case "2":
+		tables, err = one(harness.Fig02(env))
+	case "3":
+		tables, err = one(harness.Fig03(env))
+	case "4":
+		tables, err = one(harness.Fig04(env))
+	case "10":
+		tables, err = one(harness.Fig10(env))
+	case "13":
+		tables, err = one(harness.Fig13(env))
+	case "14":
+		tables, err = one(harness.Fig14(env))
+	case "15":
+		tables = []*harness.Table{harness.Fig15Table(env)}
+	case "16":
+		tables, err = one(harness.Fig16(env))
+	case "alpha":
+		tables, err = one(harness.AlphaCoverageTable(env))
+	case "instr":
+		tables = []*harness.Table{harness.InstrumentationTable()}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *md {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Print(t.Render())
+			fmt.Println()
+		}
+	}
+}
+
+func one(t *harness.Table, err error) ([]*harness.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*harness.Table{t}, nil
+}

@@ -1,0 +1,188 @@
+// Command hauberk-run executes one benchmark program under a chosen
+// protection variant, supervised by the guardian process, and reports the
+// timing split and detection outcome. An optional fault can be injected to
+// watch the full detect-diagnose-recover path (Figure 11).
+//
+// Usage:
+//
+//	hauberk-run -program CP -variant hauberk
+//	hauberk-run -program MRI-Q -variant hauberk -inject 12:100:0x00400000
+//	hauberk-run -program TPACF -variant hauberk -inject 3:40:0x80000 -persistent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hauberk/internal/core/hrt"
+	"hauberk/internal/core/ranges"
+	"hauberk/internal/core/translate"
+	"hauberk/internal/gpu"
+	"hauberk/internal/guardian"
+	"hauberk/internal/harness"
+	"hauberk/internal/swifi"
+	"hauberk/internal/workloads"
+	"os"
+)
+
+func main() {
+	var (
+		program    = flag.String("program", "CP", "benchmark program name")
+		variant    = flag.String("variant", "hauberk", "baseline, hauberk, hauberk-nl, hauberk-l")
+		dataset    = flag.Int("dataset", 0, "dataset index")
+		injectSpec = flag.String("inject", "", "fault to inject: site:instance:mask (mask hex ok)")
+		persistent = flag.Bool("persistent", false, "make the injected fault persistent (emulates a permanent fault)")
+		devices    = flag.Int("devices", 2, "GPU devices in the recovery pool")
+		loadRanges = flag.String("load-ranges", "", "load profiled value ranges from this JSON file instead of profiling")
+		saveRanges = flag.String("save-ranges", "", "write the (possibly on-line-updated) value ranges to this JSON file at exit")
+	)
+	flag.Parse()
+
+	spec := workloads.ByName(*program)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
+		os.Exit(2)
+	}
+
+	opts := translate.NewOptions(translate.ModeFIFT)
+	switch *variant {
+	case "hauberk":
+	case "hauberk-nl":
+		opts.Loop = false
+	case "hauberk-l":
+		opts.NonLoop = false
+	case "baseline":
+		opts.NonLoop, opts.Loop = false, false
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	env := harness.NewEnv(harness.QuickScale())
+	ds := workloads.Dataset{Index: *dataset}
+
+	// The FT library loads profiled value ranges from a file at the entry
+	// of main() and stores updates at exit (Section V.B step iv). Without
+	// a file, profile the chosen dataset in-process.
+	prof, err := env.Profile(spec, []workloads.Dataset{ds})
+	check(err)
+	store := prof.Store
+	if *loadRanges != "" {
+		store, err = ranges.Load(*loadRanges)
+		check(err)
+		fmt.Printf("loaded %d detectors from %s\n", len(store.Names()), *loadRanges)
+	}
+	if *saveRanges != "" {
+		defer func() {
+			check(store.Save(*saveRanges))
+			fmt.Printf("saved value ranges to %s\n", *saveRanges)
+		}()
+	}
+	tr, err := translate.Instrument(spec.Build(), opts)
+	check(err)
+
+	// A transient fault is armed once and does not re-fire on the
+	// guardian's re-executions; a persistent fault re-arms every run
+	// (emulating a permanent hardware defect).
+	var injector *swifi.Injector
+	var cmd swifi.Command
+	if *injectSpec != "" {
+		cmd, err = swifi.ParseCommand(*injectSpec)
+		check(err)
+		cmd.Persistent = *persistent
+		injector = &swifi.Injector{}
+		injector.Arm(cmd)
+		fmt.Printf("armed fault: %v\n", cmd)
+	}
+
+	// Build the device pool with a BIST self-test: a small known kernel
+	// with a known output. A persistent fault lives in device 0's
+	// hardware, so the self test fails there and the recovery engine
+	// migrates the program.
+	devPool := makeDevices(*devices)
+	faulty := devPool[0]
+	selfTest := func(d *gpu.Device) bool {
+		if *persistent && d == faulty {
+			return false
+		}
+		return bistPasses(d)
+	}
+	pool := guardian.NewDevicePool(devPool, selfTest, 4)
+
+	runIdx := int64(0)
+	run := func(dev *gpu.Device) *guardian.RunOutcome {
+		// Each execution re-stages the input (checkpoint restore analog).
+		inst := spec.Setup(dev, ds)
+		cb := hrt.NewControlBlock(tr.Detectors, store)
+		rt := hrt.NewFT(cb)
+		if injector != nil {
+			if *persistent && dev == faulty {
+				// The defect re-fires on every run of the faulty device;
+				// which dynamic instance it hits varies with hardware
+				// state, so re-executions corrupt different values.
+				jittered := cmd
+				jittered.Instance = cmd.Instance + runIdx*37
+				injector.Arm(jittered)
+				rt.Inject = injector.Probe
+			} else if !*persistent {
+				rt.Inject = injector.Probe
+			}
+		}
+		runIdx++
+		res, lerr := dev.Launch(tr.Kernel, gpu.LaunchSpec{
+			Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt,
+		})
+		out := &guardian.RunOutcome{Err: lerr, Cycles: res.Cycles}
+		if lerr == nil {
+			out.Output = inst.ReadOutput()
+			out.SDC = cb.SDC()
+			out.Alarms = cb.Alarms()
+		}
+		if lerr == nil {
+			fmt.Printf("  kernel run: %.0f cycles (loop %.1f%%), sdc=%v\n",
+				res.Cycles, 100*res.LoopCycles/res.Cycles, out.SDC)
+		} else {
+			fmt.Printf("  kernel run failed: %v\n", lerr)
+		}
+		return out
+	}
+
+	rep, err := guardian.Supervise(guardian.Config{Pool: pool}, run)
+	check(err)
+
+	fmt.Printf("\nguardian diagnosis: %s after %d execution(s)\n", rep.Diagnosis, rep.Executions)
+	if len(rep.DisabledDevices) > 0 {
+		fmt.Printf("disabled devices: %v (migrated)\n", rep.DisabledDevices)
+	}
+	if rep.Final != nil && rep.Final.Err == nil {
+		golden, err := env.Golden(spec, ds)
+		check(err)
+		ok := spec.Requirement.Check(golden.Output, rep.Final.Output)
+		fmt.Printf("final output meets requirement %q: %v\n", spec.Requirement.Name, ok)
+		for _, a := range rep.Final.Alarms {
+			fmt.Printf("  alarm: %s\n", a)
+		}
+	}
+}
+
+func makeDevices(n int) []*gpu.Device {
+	out := make([]*gpu.Device, n)
+	for i := range out {
+		out[i] = gpu.New(gpu.DefaultConfig())
+	}
+	return out
+}
+
+// bistPasses is the BIST-like program: a small kernel whose output is known.
+func bistPasses(d *gpu.Device) bool {
+	spec := workloads.CPURef()
+	inst := spec.Setup(d, workloads.Dataset{Index: 7})
+	_, err := d.Launch(spec.Build(), gpu.LaunchSpec{Grid: inst.Grid, Block: inst.Block, Args: inst.Args})
+	return err == nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Graphics: reproduce the Figure 3 scenario — a transient fault corrupts
+// one value of an ocean-flow frame (invisible at 30 fps), while an
+// intermittent FPU fault corrupting 10,000 consecutive values paints a
+// prominent stripe a user would notice.
+//
+// Run with:
+//
+//	go run ./examples/graphics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"hauberk/internal/harness"
+	"hauberk/internal/workloads"
+)
+
+func main() {
+	env := harness.NewEnv(harness.QuickScale())
+	spec := workloads.OceanFlow()
+
+	cases, err := env.GraphicsFaultStudy(spec, []int{1, 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cases {
+		kind := "transient fault"
+		if c.Errors > 1 {
+			kind = "intermittent fault"
+		}
+		fmt.Printf("%s (%d value errors): %d corrupt pixels -> user noticeable: %v\n",
+			kind, c.Errors, c.CorruptPixels, c.UserNoticeable)
+	}
+
+	// Render a crude ASCII "frame diff" for the intermittent case so the
+	// stripe is visible in the terminal.
+	golden, err := env.Golden(spec, workloads.Dataset{Index: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame, err := env.GraphicsFaultFrame(spec, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nframe diff (each char = 8x8 pixels; '#' marks corruption):")
+	const w = 64
+	for y := 0; y < 64; y += 8 {
+		var row strings.Builder
+		for x := 0; x < w; x += 8 {
+			bad := false
+			for dy := 0; dy < 8 && !bad; dy++ {
+				for dx := 0; dx < 8 && !bad; dx++ {
+					i := (y+dy)*w + (x + dx)
+					if pixelDiff(golden.Output[i], frame[i]) > 0.05 {
+						bad = true
+					}
+				}
+			}
+			if bad {
+				row.WriteByte('#')
+			} else {
+				row.WriteByte('.')
+			}
+		}
+		fmt.Println(row.String())
+	}
+}
+
+func pixelDiff(a, b uint32) float64 {
+	d := float64(math.Float32frombits(a)) - float64(math.Float32frombits(b))
+	if d != d {
+		return math.Inf(1)
+	}
+	return math.Abs(d)
+}

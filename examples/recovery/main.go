@@ -1,0 +1,150 @@
+// Recovery: demonstrate the guardian's Figure 11 diagnosis automaton on
+// three scenarios:
+//
+//  1. a transient fault — the first run raises an SDC alarm, the
+//     re-execution is clean, and its output is taken;
+//  2. a false positive — a new dataset drives the accumulator outside the
+//     profiled ranges on every run; the guardian recognizes the identical
+//     alarmed outputs, widens the ranges (on-line learning), and the next
+//     execution passes;
+//  3. a permanent device fault — every run alarms with different outputs,
+//     the BIST self-test fails, the device is disabled with exponential
+//     back-off, and the program migrates to a healthy device.
+//
+// Run with:
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hauberk/internal/core/hrt"
+	"hauberk/internal/core/translate"
+	"hauberk/internal/gpu"
+	"hauberk/internal/guardian"
+	"hauberk/internal/harness"
+	"hauberk/internal/stats"
+	"hauberk/internal/swifi"
+	"hauberk/internal/workloads"
+)
+
+func main() {
+	env := harness.NewEnv(harness.QuickScale())
+	spec := workloads.CP()
+	ds := workloads.Dataset{Index: 0}
+
+	prof, err := env.Profile(spec, []workloads.Dataset{ds})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := translate.Instrument(spec.Build(), translate.NewOptions(translate.ModeFIFT))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find a loop FP site to corrupt.
+	site := -1
+	for _, s := range tr.Sites {
+		if s.VarName == "e" {
+			site = s.ID
+		}
+	}
+
+	fmt.Println("=== scenario 1: transient fault ===")
+	{
+		first := true
+		rep := supervise(env, spec, tr, prof, ds, func(inj *swifi.Injector) {
+			if first {
+				inj.Arm(swifi.Command{Site: site, Instance: 500, Mask: 1 << 30})
+				first = false
+			}
+		}, nil)
+		fmt.Printf("diagnosis: %s after %d executions\n\n", rep.Diagnosis, rep.Executions)
+	}
+
+	fmt.Println("=== scenario 2: false positive + on-line learning ===")
+	{
+		// Evaluate on a dataset the detector was never trained on, with
+		// deliberately tight ranges (alpha stays 1).
+		newDS := workloads.Dataset{Index: 33}
+		store := prof.Store
+		learned := 0
+		onFalseAlarm := func(alarms []hrt.Alarm) {
+			for _, a := range alarms {
+				if det := store.Get(tr.Detectors[a.Detector].Name); det != nil {
+					det.Absorb(a.Value)
+					learned++
+				}
+			}
+		}
+		rep := supervise(env, spec, tr, prof, newDS, nil, onFalseAlarm)
+		fmt.Printf("diagnosis: %s after %d executions; ranges widened for %d alarms\n",
+			rep.Diagnosis, rep.Executions, learned)
+		rep2 := supervise(env, spec, tr, prof, newDS, nil, onFalseAlarm)
+		fmt.Printf("after learning, re-run diagnosis: %s\n\n", rep2.Diagnosis)
+	}
+
+	fmt.Println("=== scenario 3: permanent device fault + migration ===")
+	{
+		rng := stats.NewRng("recovery-example")
+		rep := supervise(env, spec, tr, prof, ds, func(inj *swifi.Injector) {
+			// The faulty device corrupts a random instance on every run.
+			inj.Arm(swifi.Command{Site: site, Instance: rng.Int63n(2000), Mask: 1 << 30})
+		}, nil)
+		fmt.Printf("diagnosis: %s after %d executions; disabled devices: %v\n",
+			rep.Diagnosis, rep.Executions, rep.DisabledDevices)
+	}
+}
+
+// supervise wires one scenario through the guardian. arm, when non-nil,
+// (re-)arms the injector before every execution — emulating where the
+// fault physically lives.
+func supervise(
+	env *harness.Env,
+	spec *workloads.Spec,
+	tr *translate.Result,
+	prof *harness.ProfileResult,
+	ds workloads.Dataset,
+	arm func(*swifi.Injector),
+	onFalseAlarm func([]hrt.Alarm),
+) *guardian.Report {
+	devs := []*gpu.Device{gpu.New(gpu.DefaultConfig()), gpu.New(gpu.DefaultConfig())}
+	faulty := devs[0]
+	pool := guardian.NewDevicePool(devs, func(d *gpu.Device) bool {
+		// The BIST program fails on the permanently faulty device in
+		// scenario 3 (arm != nil re-arms every run => fault persists).
+		return !(arm != nil && d == faulty && onFalseAlarm == nil && persistentScenario)
+	}, 2)
+
+	run := func(dev *gpu.Device) *guardian.RunOutcome {
+		inst := spec.Setup(dev, ds)
+		cb := hrt.NewControlBlock(tr.Detectors, prof.Store)
+		rt := hrt.NewFT(cb)
+		if arm != nil && dev == faulty {
+			inj := &swifi.Injector{}
+			arm(inj)
+			rt.Inject = inj.Probe
+		}
+		res, lerr := dev.Launch(tr.Kernel, gpu.LaunchSpec{
+			Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt,
+		})
+		out := &guardian.RunOutcome{Err: lerr, Cycles: res.Cycles}
+		if lerr == nil {
+			out.Output = inst.ReadOutput()
+			out.SDC = cb.SDC()
+			out.Alarms = cb.Alarms()
+		}
+		return out
+	}
+	rep, err := guardian.Supervise(guardian.Config{Pool: pool, OnFalseAlarm: onFalseAlarm}, run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}
+
+// persistentScenario is toggled by scenario 3's nature: a re-arming
+// injector with no false-alarm learning is the permanent-fault case.
+var persistentScenario = true

@@ -1,0 +1,3 @@
+module hauberk
+
+go 1.22

@@ -1,0 +1,236 @@
+package ranges
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestLearnerThreeCorrelationPoints(t *testing.T) {
+	// The Figure 10 pattern: a negative cluster, a near-zero cluster, and
+	// a positive cluster of similar magnitude.
+	l := NewLearner("k/v", true)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		l.Add(-(1 + rng.Float64()) * 100)
+		l.Add((rng.Float64() - 0.5) * 1e-7)
+		l.Add((1 + rng.Float64()) * 100)
+	}
+	d := l.Finalize()
+	if len(d.Ranges) != 3 {
+		t.Fatalf("ranges = %d, want 3 (neg/zero/pos)", len(d.Ranges))
+	}
+	if !(d.Ranges[0].Max < 0 && d.Ranges[2].Min > 0) {
+		t.Fatalf("range ordering wrong: %+v", d.Ranges)
+	}
+	// Values inside the clusters pass; values far outside alarm.
+	for _, v := range []float64{-150, 2e-8, 150} {
+		if !d.Check(v) {
+			t.Errorf("in-cluster value %g rejected", v)
+		}
+	}
+	for _, v := range []float64{-1e6, 1e6, 0.5, -0.3} {
+		if d.Check(v) {
+			t.Errorf("between-cluster value %g accepted", v)
+		}
+	}
+}
+
+func TestLearnerSingleCluster(t *testing.T) {
+	l := NewLearner("k/v", true)
+	for i := 0; i < 100; i++ {
+		l.Add(40 + float64(i)*0.01)
+	}
+	d := l.Finalize()
+	if len(d.Ranges) != 1 {
+		t.Fatalf("ranges = %d, want 1", len(d.Ranges))
+	}
+	if !d.Check(40.5) || d.Check(80) || d.Check(-40) {
+		t.Fatalf("single-cluster check wrong")
+	}
+}
+
+func TestThresholdSearchShrinksValueSpace(t *testing.T) {
+	// Near-zero cluster at ~1e-9: the default 1e-5 zero band is too wide;
+	// the search must move the threshold down so the positive cluster is
+	// not merged with the tiny one.
+	l := NewLearner("k/v", true)
+	for i := 0; i < 200; i++ {
+		l.Add(1e-9 * (1 + float64(i%10)/10))
+		l.Add(5 * (1 + float64(i%10)/10))
+	}
+	d := l.Finalize()
+	if len(d.Ranges) != 2 {
+		t.Fatalf("ranges = %d, want 2: %+v (threshold %g)", len(d.Ranges), d.Ranges, d.Threshold)
+	}
+	if d.Check(0.01) {
+		t.Fatalf("gap value accepted; threshold search failed (threshold %g)", d.Threshold)
+	}
+}
+
+func TestEmptyDetectorAcceptsEverything(t *testing.T) {
+	d := &Detector{Name: "x", Alpha: 1}
+	if !d.Check(1e30) || !d.Check(-1e30) {
+		t.Fatalf("unconfigured detector must accept all values")
+	}
+}
+
+func TestNonFiniteValuesAlwaysAlarm(t *testing.T) {
+	l := NewLearner("k/v", true)
+	l.Add(1)
+	l.Add(2)
+	d := l.Finalize()
+	if d.Check(math.NaN()) || d.Check(math.Inf(1)) || d.Check(math.Inf(-1)) {
+		t.Fatalf("non-finite values must alarm")
+	}
+}
+
+func TestAlphaWidensRanges(t *testing.T) {
+	d := &Detector{Alpha: 1, Ranges: []Range{{Min: 10, Max: 100}}}
+	if d.Check(5) || d.Check(500) {
+		t.Fatalf("alpha=1 baseline wrong")
+	}
+	d.Alpha = 10
+	if !d.Check(5) || !d.Check(500) {
+		t.Fatalf("alpha=10 should widen [10,100] to [1,1000]")
+	}
+	if d.Check(0.5) || d.Check(2000) {
+		t.Fatalf("alpha=10 widened too far")
+	}
+	// Negative range: mirrored scaling.
+	dn := &Detector{Alpha: 10, Ranges: []Range{{Min: -100, Max: -10}}}
+	if !dn.Check(-500) || !dn.Check(-5) {
+		t.Fatalf("negative range scaling wrong")
+	}
+}
+
+func TestAbsorbOnlineLearning(t *testing.T) {
+	d := &Detector{Alpha: 1, Ranges: []Range{{Min: 10, Max: 20}}}
+	if d.Check(30) {
+		t.Fatalf("precondition")
+	}
+	d.Absorb(30)
+	if !d.Check(30) || !d.Check(25) {
+		t.Fatalf("absorbed value must now pass")
+	}
+	d.Absorb(math.NaN()) // must not corrupt ranges
+	if !d.Check(15) {
+		t.Fatalf("NaN absorb corrupted ranges")
+	}
+}
+
+func TestQuickAbsorbThenCheckAlwaysPasses(t *testing.T) {
+	f := func(seedVals []float64, v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		l := NewLearner("q", true)
+		for _, s := range seedVals {
+			l.Add(s)
+		}
+		d := l.Finalize()
+		d.Absorb(v)
+		return d.Check(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTrainedValuesAlwaysPass(t *testing.T) {
+	// Any finite value the learner saw must be inside the derived ranges.
+	f := func(raw []float64) bool {
+		l := NewLearner("q", true)
+		var kept []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			l.Add(v)
+			kept = append(kept, v)
+		}
+		d := l.Finalize()
+		for _, v := range kept {
+			if !d.Check(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAlphaMonotone(t *testing.T) {
+	// Raising alpha never turns an accepted value into a rejection.
+	f := func(vals []float64, probe float64, bump uint8) bool {
+		if math.IsNaN(probe) || math.IsInf(probe, 0) {
+			return true
+		}
+		l := NewLearner("q", true)
+		for _, v := range vals {
+			l.Add(v)
+		}
+		d := l.Finalize()
+		before := d.Check(probe)
+		d.Alpha = 1 + float64(bump)
+		after := d.Check(probe)
+		return !before || after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	l := NewLearner("cp/energy", true)
+	for i := 0; i < 50; i++ {
+		l.Add(float64(i) - 25)
+	}
+	s.Put(l.Finalize())
+	s.Put(&Detector{Name: "pns/marking", Alpha: 10, Ranges: []Range{{Min: 1, Max: 2}}})
+
+	path := filepath.Join(t.TempDir(), "ranges.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Names(); len(got) != 2 || got[0] != "cp/energy" || got[1] != "pns/marking" {
+		t.Fatalf("names = %v", got)
+	}
+	if d := loaded.Get("pns/marking"); d.Alpha != 10 || d.Ranges[0].Max != 2 {
+		t.Fatalf("round trip lost data: %+v", d)
+	}
+}
+
+func TestStoreCloneIsolated(t *testing.T) {
+	s := NewStore()
+	s.Put(&Detector{Name: "a", Alpha: 1, Ranges: []Range{{Min: 0, Max: 1}}})
+	c := s.Clone()
+	c.Get("a").Absorb(100)
+	c.SetAlpha(50)
+	if s.Get("a").Check(100) {
+		t.Fatalf("clone mutation leaked into the original store")
+	}
+	if s.Get("a").Alpha != 1 {
+		t.Fatalf("alpha leaked")
+	}
+}
+
+func TestDetectorValidate(t *testing.T) {
+	bad := &Detector{Name: "x", Ranges: []Range{{Min: 2, Max: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("inverted range must fail validation")
+	}
+	four := &Detector{Name: "x", Ranges: make([]Range, 4)}
+	if err := four.Validate(); err == nil {
+		t.Fatalf("more than three ranges must fail validation")
+	}
+}

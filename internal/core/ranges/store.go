@@ -1,0 +1,109 @@
+package ranges
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store persists detector range sets, keyed by detector name. It plays the
+// role of the file the paper's FT library loads at the entry of main() and
+// rewrites at exit when false alarms updated the ranges (Section V.B step
+// iv). Store is safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	byID map[string]*Detector
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{byID: make(map[string]*Detector)} }
+
+// Put inserts or replaces a detector.
+func (s *Store) Put(d *Detector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[d.Name] = d
+}
+
+// Get returns the detector for name, or nil.
+func (s *Store) Get(name string) *Detector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[name]
+}
+
+// Names returns all detector names, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byID))
+	for n := range s.byID {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetAlpha applies one recalibration factor to every detector in the store.
+func (s *Store) SetAlpha(alpha float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range s.byID {
+		d.Alpha = alpha
+	}
+}
+
+// Clone returns a deep copy; campaigns give each worker its own copy so
+// on-line learning in one run cannot leak into another.
+func (s *Store) Clone() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := NewStore()
+	for n, d := range s.byID {
+		cp := *d
+		cp.Ranges = append([]Range(nil), d.Ranges...)
+		out.byID[n] = &cp
+	}
+	return out
+}
+
+// Save writes the store as JSON.
+func (s *Store) Save(path string) error {
+	s.mu.Lock()
+	list := make([]*Detector, 0, len(s.byID))
+	for _, d := range s.byID {
+		list = append(list, d)
+	}
+	s.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ranges: encode store: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a store written by Save.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []*Detector
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("ranges: decode store %s: %w", path, err)
+	}
+	s := NewStore()
+	var errs []error
+	for _, d := range list {
+		if err := d.Validate(); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		s.byID[d.Name] = d
+	}
+	return s, errors.Join(errs...)
+}

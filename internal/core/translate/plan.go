@@ -1,0 +1,330 @@
+package translate
+
+import (
+	"fmt"
+
+	"hauberk/internal/core/hrt"
+	"hauberk/internal/kir"
+)
+
+// nlPlace says where a non-loop-protected variable's second checksum
+// update goes (Section V.A step iv).
+type nlPlace uint8
+
+const (
+	// placeImmediate closes the checksum pair right after the duplicate
+	// check (variables never used again, or defined inside branches).
+	placeImmediate nlPlace = iota
+	// placeAfterTop puts the second XOR after the top-level statement
+	// holding the variable's last use (including after a loop that reads
+	// but does not update it).
+	placeAfterTop
+	// placeBeforeLoop puts the second XOR right before the first loop
+	// that updates the variable, introducing the paper's "uncovered
+	// window" that the loop detectors then cover.
+	placeBeforeLoop
+)
+
+// nlPlan is the non-loop protection plan for one virtual variable.
+type nlPlan struct {
+	v     *kir.Var
+	place nlPlace
+	index int // top-level index for placeAfterTop / placeBeforeLoop
+}
+
+// loopSel is one variable selected for loop protection.
+type loopSel struct {
+	v          *kir.Var
+	selfAccum  bool
+	det        int      // detector ID for the range check
+	accum      *kir.Var // synthetic accumulator (nil for self-accumulators)
+	counter    *kir.Var // averaging counter
+	ownCounter bool     // counter increments adjacent to the accumulation
+}
+
+// loopPlan is the derivation result for one loop region.
+type loopPlan struct {
+	li   *kir.LoopInfo
+	sels []*loopSel
+
+	// iterCounter counts loop iterations at the top of the body; it both
+	// averages top-level accumulators and feeds the iteration-count
+	// invariant check.
+	iterCounter *kir.Var
+	iterDet     int
+	expected    *kir.Var // trip count evaluated before the loop
+	tripExpr    kir.Expr
+}
+
+type instr struct {
+	k    *kir.Kernel
+	an   *kir.Analysis
+	opts Options
+
+	chksum        *kir.Var
+	nlDet         int
+	sites         []Site
+	dets          []hrt.DetectorMeta
+	nlProtected   int
+	loopProtected int
+
+	nlPlans   map[*kir.Var]*nlPlan
+	nlAfter   map[int][]*kir.Var // second XORs scheduled after top index
+	nlBefore  map[int][]*kir.Var // second XORs scheduled before loop index
+	loopPlans map[kir.Stmt]*loopPlan
+
+	// naive-duplication ablation: dup variables pending their compare at
+	// the scheduled top-level index (placeImmediate handled inline).
+	naiveAfter  map[int][]naivePair
+	naiveBefore map[int][]naivePair
+}
+
+type naivePair struct{ orig, dup *kir.Var }
+
+// plan computes every instrumentation decision before emission.
+func (ins *instr) plan() {
+	ins.nlPlans = make(map[*kir.Var]*nlPlan)
+	ins.nlAfter = make(map[int][]*kir.Var)
+	ins.nlBefore = make(map[int][]*kir.Var)
+	ins.loopPlans = make(map[kir.Stmt]*loopPlan)
+	ins.naiveAfter = make(map[int][]naivePair)
+	ins.naiveBefore = make(map[int][]naivePair)
+	ins.nlDet = -1
+
+	if ins.opts.wantNL() {
+		ins.planNL()
+	}
+	if ins.opts.wantLoopAccum() {
+		for _, li := range ins.an.Loops {
+			ins.planLoop(li)
+		}
+	}
+}
+
+// planNL decides, for every virtual variable defined in non-loop code,
+// where its second checksum update goes (the five-step derivation
+// algorithm of Section V.A).
+func (ins *instr) planNL() {
+	if !ins.opts.NaiveDup {
+		ins.chksum = ins.k.NewVar("hbk_chksum", kir.U32)
+		ins.chksum.Synth = true
+		ins.nlDet = ins.addDetector(hrt.DetectorMeta{
+			Name:    ins.k.Name + "/nonloop",
+			VarName: "<nonloop>",
+		})
+	} else {
+		ins.nlDet = ins.addDetector(hrt.DetectorMeta{
+			Name:    ins.k.Name + "/nonloop-naive",
+			VarName: "<nonloop>",
+		})
+	}
+
+	// First loop region that updates each variable, if any.
+	firstUpdatingLoop := make(map[*kir.Var]int)
+	for _, li := range ins.an.Loops {
+		for _, v := range li.AssignedIn {
+			if _, ok := firstUpdatingLoop[v]; !ok {
+				firstUpdatingLoop[v] = li.TopIndex
+			}
+		}
+	}
+
+	for i, s := range ins.k.Body {
+		d, ok := s.(kir.Define)
+		if !ok || d.Dst.Synth || !protectableNL(d.Dst) {
+			continue
+		}
+		p := &nlPlan{v: d.Dst, place: placeImmediate}
+		if li, updated := firstUpdatingLoop[d.Dst]; updated {
+			p.place, p.index = placeBeforeLoop, li
+		} else if last, used := ins.an.LastTopUse[d.Dst]; used && last > i {
+			p.place, p.index = placeAfterTop, last
+		}
+		// The checksum variant schedules its second XOR at the planned
+		// point; the naive ablation schedules its single compare there
+		// instead (emitNL routes through naiveBefore/naiveAfter).
+		if !ins.opts.NaiveDup {
+			switch p.place {
+			case placeBeforeLoop:
+				ins.nlBefore[p.index] = append(ins.nlBefore[p.index], d.Dst)
+			case placeAfterTop:
+				ins.nlAfter[p.index] = append(ins.nlAfter[p.index], d.Dst)
+			}
+		}
+		ins.nlPlans[d.Dst] = p
+	}
+}
+
+// protectableNL reports whether the non-loop detector covers this
+// variable's type (4-byte scalar or pointer images are XOR-able; Bool
+// predicates are not materialized state).
+func protectableNL(v *kir.Var) bool { return v.Type != kir.Bool && v.Type != kir.Invalid }
+
+// planLoop runs the four-step loop-detector derivation (Section V.B) for
+// one region.
+func (ins *instr) planLoop(li *kir.LoopInfo) {
+	lp := &loopPlan{li: li}
+	ins.loopPlans[li.Stmt] = lp
+
+	// Step (i): select target variables. Self-accumulating variables come
+	// first because they need no code inside the loop.
+	excluded := make(map[*kir.Var]bool)
+	selected := make(map[*kir.Var]bool)
+	addSel := func(v *kir.Var, self bool) {
+		det := ins.addDetector(hrt.DetectorMeta{
+			ID:        len(ins.dets),
+			Name:      fmt.Sprintf("%s/%s", ins.k.Name, v.Name),
+			VarName:   v.Name,
+			IsFP:      v.Type == kir.F32,
+			SelfAccum: self,
+			LoopIndex: li.RegionID,
+		})
+		lp.sels = append(lp.sels, &loopSel{v: v, selfAccum: self, det: det})
+		selected[v] = true
+		for u := range li.BackwardCone(v) {
+			excluded[u] = true
+		}
+		ins.loopProtected++
+	}
+
+	for _, sa := range li.SelfAccum {
+		if len(lp.sels) >= ins.opts.MaxVar {
+			break
+		}
+		if sa.Synth || !sa.Type.Numeric() {
+			continue
+		}
+		addSel(sa, true)
+	}
+
+	candidates := make([]*kir.Var, 0, len(li.DefinedIn)+len(li.AssignedIn))
+	for _, v := range li.DefinedIn {
+		if !v.Synth && v.Type.Numeric() {
+			candidates = append(candidates, v)
+		}
+	}
+	for _, v := range li.AssignedIn {
+		if !v.Synth && v.Type.Numeric() && !selected[v] {
+			candidates = append(candidates, v)
+		}
+	}
+	for len(lp.sels) < ins.opts.MaxVar {
+		var best *kir.Var
+		bestDep := -1
+		for _, c := range candidates {
+			if selected[c] || excluded[c] {
+				continue
+			}
+			if dep := li.BackwardDep(c); dep > bestDep || (dep == bestDep && best != nil && c.ID < best.ID) {
+				best, bestDep = c, dep
+			}
+		}
+		if best == nil {
+			break
+		}
+		addSel(best, false)
+	}
+
+	// Steps (ii)+(iii): accumulator and counter variables are created at
+	// emission; here we decide counter sharing and the iteration-count
+	// invariant (step iv's HauberkCheckEqual).
+	if li.For != nil {
+		lp.tripExpr = li.TripCount()
+	}
+	needIterCounter := lp.tripExpr != nil && ins.opts.wantLoopCheck()
+	var bodyTop kir.Block
+	switch n := li.Stmt.(type) {
+	case *kir.For:
+		bodyTop = n.Body
+	case *kir.While:
+		bodyTop = n.Body
+	}
+	for _, sel := range lp.sels {
+		// When the accumulation runs exactly once per iteration (the
+		// variable's definitions are all immediate statements of a
+		// counted loop's body), its count equals the iteration count and
+		// the counters merge ("merges the counters if possible").
+		sel.ownCounter = li.For == nil || !defDirectlyIn(bodyTop, sel.v)
+		if !sel.ownCounter {
+			needIterCounter = true
+		}
+	}
+	if needIterCounter {
+		lp.iterCounter = ins.newSynth("hbk_iter", kir.I32)
+		if lp.tripExpr != nil && ins.opts.wantLoopCheck() {
+			lp.iterDet = ins.addDetector(hrt.DetectorMeta{
+				Name:      fmt.Sprintf("%s/loop%d/iter", ins.k.Name, li.RegionID),
+				VarName:   "<iteration count>",
+				LoopIndex: li.RegionID,
+			})
+			lp.expected = ins.newSynth("hbk_expected", kir.I32)
+		}
+	}
+	for _, sel := range lp.sels {
+		if !sel.selfAccum {
+			sel.accum = ins.newSynth("hbk_acc_"+sel.v.Name, sel.v.Type)
+		}
+		if sel.ownCounter {
+			sel.counter = ins.newSynth("hbk_cnt_"+sel.v.Name, kir.I32)
+		} else {
+			sel.counter = lp.iterCounter
+		}
+	}
+}
+
+// defDirectlyIn reports whether v is defined or assigned as an immediate
+// statement of block b (not nested inside control flow).
+func defDirectlyIn(b kir.Block, v *kir.Var) bool {
+	found := false
+	assignedAnywhere := 0
+	kir.WalkStmts(b, func(s kir.Stmt) bool {
+		if kir.StmtDef(s) == v {
+			assignedAnywhere++
+		}
+		return true
+	})
+	direct := 0
+	for _, s := range b {
+		if kir.StmtDef(s) == v {
+			direct++
+		}
+	}
+	found = direct > 0 && direct == assignedAnywhere
+	return found
+}
+
+func (ins *instr) newSynth(name string, t kir.Type) *kir.Var {
+	v := ins.k.NewVar(uniqueName(ins.k, name), t)
+	v.Synth = true
+	return v
+}
+
+func uniqueName(k *kir.Kernel, base string) string {
+	if k.VarByName(base) == nil {
+		return base
+	}
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s.%d", base, i)
+		if k.VarByName(name) == nil {
+			return name
+		}
+	}
+}
+
+func (ins *instr) addDetector(m hrt.DetectorMeta) int {
+	m.ID = len(ins.dets)
+	ins.dets = append(ins.dets, m)
+	return m.ID
+}
+
+func (ins *instr) addSite(v *kir.Var, hw kir.HW, inLoop bool) int {
+	id := len(ins.sites)
+	ins.sites = append(ins.sites, Site{
+		ID:      id,
+		VarName: v.Name,
+		Class:   v.Class(),
+		HW:      hw,
+		InLoop:  inLoop,
+	})
+	return id
+}

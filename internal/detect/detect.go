@@ -1,0 +1,175 @@
+// Package detect implements the baseline error detectors the paper
+// compares against (Section IX):
+//
+//   - R-Naive: full temporal duplication — the GPU kernel executes twice
+//     on two copies of the data and the CPU compares the outputs. ~100%
+//     overhead and doubled CPU memory.
+//   - R-Scatter: optimized full duplication from [11] — every computation
+//     statement is duplicated inside the kernel against a shadow copy of
+//     memory, exploiting whatever data-level parallelism is left idle.
+//     It doubles the GPU memory/resource footprint, so programs that
+//     already use more than half of a resource (TPACF's shared memory)
+//     cannot be compiled with it.
+//
+// HAUBERK itself lives in internal/core; this package exists so the
+// evaluation can reproduce Figure 13's comparison.
+package detect
+
+import (
+	"fmt"
+
+	"hauberk/internal/kir"
+)
+
+// SharedMemPerSM is the per-SM shared memory of the modelled GT200 GPU
+// (16 KiB; Section IX.A).
+const SharedMemPerSM = 16 * 1024
+
+// RScatterResult is the transformed kernel plus the mapping from appended
+// shadow parameters to the original parameters they mirror.
+type RScatterResult struct {
+	Kernel *kir.Kernel
+	// ShadowOf[i] gives, for the i-th appended parameter (starting at the
+	// original parameter count), the index of the original parameter it
+	// shadows. Callers allocate shadow buffers with identical contents.
+	ShadowOf []int
+}
+
+// RScatter builds the R-Scatter duplicated kernel. It fails when the
+// program's declared shared-memory footprint cannot be doubled within the
+// device's per-SM shared memory — the reason the paper could not compile
+// TPACF with R-Scatter.
+func RScatter(k *kir.Kernel, sharedMemBytes int) (*RScatterResult, error) {
+	if 2*sharedMemBytes > SharedMemPerSM {
+		return nil, fmt.Errorf(
+			"detect: R-Scatter cannot compile %s: doubling %d bytes of shared memory exceeds the %d-byte per-SM limit",
+			k.Name, sharedMemBytes, SharedMemPerSM)
+	}
+	ck, _ := kir.Clone(k)
+
+	// Shadow pointer parameters, appended after the original parameters.
+	res := &RScatterResult{Kernel: ck}
+	shadowPtr := make(map[*kir.Var]*kir.Var)
+	origParams := append([]*kir.Var(nil), ck.Params...)
+	for i, p := range origParams {
+		if p.Type != kir.Ptr {
+			continue
+		}
+		sp := ck.NewPtrVar(p.Name+"_sh", p.Elem)
+		sp.Synth = true
+		ck.AddParam(sp)
+		shadowPtr[p] = sp
+		res.ShadowOf = append(res.ShadowOf, i)
+	}
+
+	d := &duplicator{
+		k:         ck,
+		shadowPtr: shadowPtr,
+		shadowVar: make(map[*kir.Var]*kir.Var),
+		iterators: make(map[*kir.Var]bool),
+	}
+	kir.WalkStmts(ck.Body, func(s kir.Stmt) bool {
+		if f, ok := s.(*kir.For); ok {
+			d.iterators[f.Iter] = true
+		}
+		return true
+	})
+	ck.Body = d.block(ck.Body)
+	if err := kir.Validate(ck); err != nil {
+		return nil, fmt.Errorf("detect: R-Scatter produced invalid kernel: %w", err)
+	}
+	return res, nil
+}
+
+type duplicator struct {
+	k         *kir.Kernel
+	shadowPtr map[*kir.Var]*kir.Var
+	shadowVar map[*kir.Var]*kir.Var
+	iterators map[*kir.Var]bool
+}
+
+// shadow returns the shadow register for v, creating it on first use.
+// Control variables (loop iterators) and scalar parameters are shared, as
+// R-Scatter duplicates dataflow, not control flow.
+func (d *duplicator) shadow(v *kir.Var) *kir.Var {
+	if sp, ok := d.shadowPtr[v]; ok {
+		return sp
+	}
+	if v.Param || d.iterators[v] {
+		return v
+	}
+	if sv, ok := d.shadowVar[v]; ok {
+		return sv
+	}
+	var sv *kir.Var
+	if v.Type == kir.Ptr {
+		sv = d.k.NewPtrVar(v.Name+"_sh", v.Elem)
+	} else {
+		sv = d.k.NewVar(v.Name+"_sh", v.Type)
+	}
+	sv.Synth = true
+	d.shadowVar[v] = sv
+	return sv
+}
+
+// shadowExpr rewrites an expression over the shadow state: variables map
+// to their shadows and loads read the shadow copy of memory.
+func (d *duplicator) shadowExpr(e kir.Expr) kir.Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case kir.Const, kir.Special:
+		return e
+	case kir.VarRef:
+		return kir.VarRef{V: d.shadow(n.V)}
+	case kir.Bin:
+		return kir.Bin{Op: n.Op, L: d.shadowExpr(n.L), R: d.shadowExpr(n.R)}
+	case kir.Un:
+		return kir.Un{Op: n.Op, X: d.shadowExpr(n.X)}
+	case kir.Load:
+		return kir.Load{Base: d.shadow(n.Base), Index: d.shadowExpr(n.Index)}
+	case kir.Call:
+		args := make([]kir.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = d.shadowExpr(a)
+		}
+		return kir.Call{Fn: n.Fn, Args: args}
+	case kir.Convert:
+		return kir.Convert{To: n.To, X: d.shadowExpr(n.X)}
+	case kir.Bitcast:
+		return kir.Bitcast{To: n.To, X: d.shadowExpr(n.X)}
+	}
+	panic(fmt.Sprintf("detect: unknown expression %T", e))
+}
+
+func (d *duplicator) block(b kir.Block) kir.Block {
+	out := make(kir.Block, 0, 2*len(b))
+	for _, s := range b {
+		switch n := s.(type) {
+		case kir.Define:
+			out = append(out, n)
+			if !n.Dst.Synth {
+				out = append(out, kir.Define{Dst: d.shadow(n.Dst), E: d.shadowExpr(n.E)})
+			}
+		case kir.Assign:
+			out = append(out, n)
+			if !n.Dst.Synth {
+				out = append(out, kir.Assign{Dst: d.shadow(n.Dst), E: d.shadowExpr(n.E)})
+			}
+		case kir.Store:
+			out = append(out, n)
+			if sb := d.shadow(n.Base); sb != n.Base {
+				out = append(out, kir.Store{Base: sb, Index: d.shadowExpr(n.Index), Val: d.shadowExpr(n.Val)})
+			}
+		case *kir.If:
+			out = append(out, &kir.If{Cond: n.Cond, Then: d.block(n.Then), Else: d.block(n.Else)})
+		case *kir.For:
+			out = append(out, &kir.For{Iter: n.Iter, Init: n.Init, Limit: n.Limit, Step: n.Step, Body: d.block(n.Body)})
+		case *kir.While:
+			out = append(out, &kir.While{Cond: n.Cond, Body: d.block(n.Body)})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package gpu
+
+import "fmt"
+
+// CrashError reports a kernel crash detected by the (simulated) GPU runtime
+// environment: an access outside the device memory arena, an integer divide
+// by zero, or a similar fatal condition. Per the paper (Principle 3), "GPU
+// runtime can detect all GPU kernel crashes by default", so a CrashError is
+// a *detected* failure, not an SDC.
+type CrashError struct {
+	Reason string
+	Block  int
+	Thread int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("gpu: kernel crash in block %d thread %d: %s", e.Block, e.Thread, e.Reason)
+}
+
+// HangError reports that a thread exceeded its instruction budget. On real
+// hardware the kernel would simply not terminate; the guardian process
+// detects this via its execution-time watchdog (Section VI(i)). The
+// simulator bounds execution and surfaces the condition as a HangError so
+// the guardian model can classify it.
+type HangError struct {
+	Block  int
+	Thread int
+	Steps  int
+}
+
+func (e *HangError) Error() string {
+	return fmt.Sprintf("gpu: kernel hang in block %d thread %d after %d steps", e.Block, e.Thread, e.Steps)
+}
+
+// LaunchError reports an invalid launch (bad arguments, resource limits).
+// R-Scatter's refusal to compile programs that use more than half of a GPU
+// resource (Section IX.A, TPACF) surfaces as a LaunchError.
+type LaunchError struct{ Reason string }
+
+func (e *LaunchError) Error() string { return "gpu: launch failed: " + e.Reason }

@@ -1,0 +1,68 @@
+package guardian
+
+import "hauberk/internal/core/ranges"
+
+// AlphaController implements the loop-error-detector recalibration of
+// Section VI(iii): the recovery engine tracks the false positive ratio of
+// the deployed detectors; when it exceeds an upper threshold the
+// multiplication factor alpha grows (×10), and when it falls below a lower
+// threshold alpha shrinks (÷10) but never under 1. Loose ranges trade
+// false positives (re-execution cost) against false negatives (missed
+// SDCs); Section IX.C quantifies the tradeoff.
+type AlphaController struct {
+	// Upper and Lower are the false-positive-ratio thresholds (the
+	// paper's examples: 10% and 5%).
+	Upper, Lower float64
+	// Step is the multiplicative adjustment (the paper: 10).
+	Step float64
+	// Window is how many diagnosed alarms are accumulated before a
+	// decision is made.
+	Window int
+
+	alpha      float64
+	falsePos   int
+	decided    int
+	adjustUp   int
+	adjustDown int
+}
+
+// NewAlphaController returns a controller with the paper's thresholds.
+func NewAlphaController() *AlphaController {
+	return &AlphaController{Upper: 0.10, Lower: 0.05, Step: 10, Window: 10, alpha: 1}
+}
+
+// Alpha returns the current multiplication factor.
+func (c *AlphaController) Alpha() float64 { return c.alpha }
+
+// Adjustments reports how many times alpha was raised and lowered.
+func (c *AlphaController) Adjustments() (up, down int) { return c.adjustUp, c.adjustDown }
+
+// ObserveDiagnosis feeds one guardian diagnosis of an alarmed execution:
+// falseAlarm is true when re-execution identified a false positive. When a
+// decision window completes, alpha is recalibrated and, if a store is
+// given, applied to its detectors.
+func (c *AlphaController) ObserveDiagnosis(falseAlarm bool, store *ranges.Store) {
+	c.decided++
+	if falseAlarm {
+		c.falsePos++
+	}
+	if c.decided < c.Window {
+		return
+	}
+	ratio := float64(c.falsePos) / float64(c.decided)
+	switch {
+	case ratio > c.Upper:
+		c.alpha *= c.Step
+		c.adjustUp++
+	case ratio < c.Lower && c.alpha > 1:
+		c.alpha /= c.Step
+		if c.alpha < 1 {
+			c.alpha = 1
+		}
+		c.adjustDown++
+	}
+	c.decided, c.falsePos = 0, 0
+	if store != nil {
+		store.SetAlpha(c.alpha)
+	}
+}

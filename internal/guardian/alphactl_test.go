@@ -1,0 +1,70 @@
+package guardian
+
+import (
+	"testing"
+
+	"hauberk/internal/core/ranges"
+)
+
+func TestAlphaControllerRaisesOnHighFalsePositives(t *testing.T) {
+	c := NewAlphaController()
+	store := ranges.NewStore()
+	store.Put(&ranges.Detector{Name: "k/v", Alpha: 1, Ranges: []ranges.Range{{Min: 1, Max: 2}}})
+	// 3 of 10 alarmed executions diagnosed as false positives: 30% > 10%.
+	for i := 0; i < 10; i++ {
+		c.ObserveDiagnosis(i < 3, store)
+	}
+	if c.Alpha() != 10 {
+		t.Fatalf("alpha = %g, want 10", c.Alpha())
+	}
+	if store.Get("k/v").Alpha != 10 {
+		t.Fatalf("store alpha not updated")
+	}
+	up, down := c.Adjustments()
+	if up != 1 || down != 0 {
+		t.Fatalf("adjustments = %d/%d", up, down)
+	}
+}
+
+func TestAlphaControllerLowersOnLowFalsePositives(t *testing.T) {
+	c := NewAlphaController()
+	// First drive alpha up to 100.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 10; i++ {
+			c.ObserveDiagnosis(true, nil)
+		}
+	}
+	if c.Alpha() != 100 {
+		t.Fatalf("setup: alpha = %g", c.Alpha())
+	}
+	// Then a clean window (0% < 5%) lowers it.
+	for i := 0; i < 10; i++ {
+		c.ObserveDiagnosis(false, nil)
+	}
+	if c.Alpha() != 10 {
+		t.Fatalf("alpha = %g, want 10 after one reduction", c.Alpha())
+	}
+}
+
+func TestAlphaControllerFloorsAtOne(t *testing.T) {
+	c := NewAlphaController()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 10; i++ {
+			c.ObserveDiagnosis(false, nil)
+		}
+	}
+	if c.Alpha() != 1 {
+		t.Fatalf("alpha = %g, must never fall below 1", c.Alpha())
+	}
+}
+
+func TestAlphaControllerHoldsInDeadband(t *testing.T) {
+	c := NewAlphaController()
+	// Exactly in [5%, 10%]: no change. 1 of 10 = 10% is not > 10%.
+	for i := 0; i < 10; i++ {
+		c.ObserveDiagnosis(i == 0, nil)
+	}
+	if c.Alpha() != 1 {
+		t.Fatalf("alpha = %g, want unchanged 1 inside the deadband", c.Alpha())
+	}
+}

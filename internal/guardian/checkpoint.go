@@ -1,0 +1,32 @@
+package guardian
+
+import (
+	"errors"
+
+	"hauberk/internal/gpu"
+)
+
+// Checkpoint captures device memory before a kernel launch so a failed
+// execution can be retried without repeating earlier work — the optional
+// CheCUDA-style checkpoint library of Section VI(i).
+type Checkpoint struct {
+	dev  *gpu.Device
+	snap []uint32
+}
+
+// Capture snapshots the device's memory.
+func Capture(dev *gpu.Device) *Checkpoint {
+	return &Checkpoint{dev: dev, snap: dev.Snapshot()}
+}
+
+// Restore reinstates the snapshot on the same device.
+func (c *Checkpoint) Restore() error {
+	if c == nil || c.dev == nil {
+		return errors.New("guardian: restore on empty checkpoint")
+	}
+	c.dev.Restore(c.snap)
+	return nil
+}
+
+// Words reports the checkpoint size in 32-bit words.
+func (c *Checkpoint) Words() int { return len(c.snap) }

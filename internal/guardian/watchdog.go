@@ -1,0 +1,61 @@
+package guardian
+
+// WatchdogConfig models the guardian's preemptive hang detection
+// (Section VI(i)): a GPU kernel is presumed hung when its execution time
+// exceeds both T times its previous execution time and a minimum interval.
+// The FT library reports each kernel's measured time to the guardian
+// through an IPC primitive; in this reproduction the kernel time is the
+// simulator's cycle count, and the simulator's step budget acts as the
+// kill signal. The watchdog bookkeeping below decides *whether* a given
+// duration would have been classified as a hang.
+type WatchdogConfig struct {
+	// Factor is T, the multiple of the previous execution time (the
+	// paper's example uses 10).
+	Factor float64
+	// MinCycles is the minimum absolute duration before a kill is
+	// considered (the paper's example: one minute).
+	MinCycles float64
+}
+
+// DefaultWatchdog returns the paper's example configuration.
+func DefaultWatchdog() WatchdogConfig {
+	return WatchdogConfig{Factor: 10, MinCycles: 1e6}
+}
+
+// Watchdog tracks per-kernel execution times.
+type Watchdog struct {
+	cfg  WatchdogConfig
+	prev map[string]float64
+}
+
+// NewWatchdog creates a watchdog with the given configuration; zero-value
+// fields fall back to DefaultWatchdog.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	def := DefaultWatchdog()
+	if cfg.Factor <= 0 {
+		cfg.Factor = def.Factor
+	}
+	if cfg.MinCycles <= 0 {
+		cfg.MinCycles = def.MinCycles
+	}
+	return &Watchdog{cfg: cfg, prev: make(map[string]float64)}
+}
+
+// Observe records a completed execution of the kernel.
+func (w *Watchdog) Observe(kernel string, cycles float64) {
+	w.prev[kernel] = cycles
+}
+
+// WouldKill reports whether an execution that has been running for the
+// given cycles should be preemptively killed as a hang or delay error.
+// Before any observation, only the absolute minimum applies.
+func (w *Watchdog) WouldKill(kernel string, cycles float64) bool {
+	if cycles < w.cfg.MinCycles {
+		return false
+	}
+	prev, ok := w.prev[kernel]
+	if !ok {
+		return true
+	}
+	return cycles > prev*w.cfg.Factor
+}

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"hauberk/internal/core/hrt"
+	"hauberk/internal/core/ranges"
+	"hauberk/internal/core/translate"
+	"hauberk/internal/gpu"
+	"hauberk/internal/kir"
+	"hauberk/internal/stats"
+	"hauberk/internal/swifi"
+	"hauberk/internal/workloads"
+)
+
+// Injection is one planned fault-injection experiment.
+type Injection struct {
+	Cmd   swifi.Command
+	Site  translate.Site
+	Bits  int
+	Class kir.DataClass
+}
+
+// PlanCampaign derives the injection list for a program: up to
+// Scale.MaxSites virtual variables, Scale.MasksPerSite random masks each,
+// spread over Scale.BitCounts, with the dynamic injection instance drawn
+// from the profiled execution counts (Section VIII's methodology).
+func (e *Env) PlanCampaign(spec *workloads.Spec, prof *ProfileResult, bitCounts []int) []Injection {
+	rng := stats.NewRng("campaign", spec.Name)
+	var sites []translate.Site
+	for _, s := range prof.Sites {
+		if prof.ExecCounts[s.ID] > 0 {
+			sites = append(sites, s)
+		}
+	}
+	if len(sites) > e.Scale.MaxSites {
+		// Deterministic spread over the program's variables.
+		step := float64(len(sites)) / float64(e.Scale.MaxSites)
+		var picked []translate.Site
+		for i := 0; i < e.Scale.MaxSites; i++ {
+			picked = append(picked, sites[int(float64(i)*step)])
+		}
+		sites = picked
+	}
+
+	var plan []Injection
+	for _, site := range sites {
+		for m := 0; m < e.Scale.MasksPerSite; m++ {
+			bits := bitCounts[m%len(bitCounts)]
+			count := prof.ExecCounts[site.ID]
+			inst := int64(0)
+			if count > 1 {
+				inst = rng.Int63n(count)
+			}
+			plan = append(plan, Injection{
+				Cmd:   swifi.Command{Site: site.ID, Instance: inst, Mask: swifi.RandomMask(rng, bits)},
+				Site:  site,
+				Bits:  bits,
+				Class: site.Class,
+			})
+		}
+	}
+	return plan
+}
+
+// InjectionResult is the classified outcome of one injection run.
+type InjectionResult struct {
+	Injection Injection
+	Outcome   Outcome
+	// Hang distinguishes hang failures from crashes.
+	Hang bool
+	// Activated reports whether the fault was actually injected (the
+	// chosen instance executed).
+	Activated bool
+}
+
+// RunInjection executes one fault-injection experiment with the given
+// library mode (ModeFI for baseline sensitivity, ModeFIFT for Hauberk
+// coverage) and classifies the outcome against the golden run.
+func (e *Env) RunInjection(
+	spec *workloads.Spec,
+	golden *GoldenRun,
+	store *ranges.Store,
+	mode translate.Mode,
+	inj Injection,
+) (*InjectionResult, error) {
+	return e.runInjectionOn(e.NewDevice, spec, golden, store, mode, inj)
+}
+
+// runInjectionOn is RunInjection with an explicit device factory (the
+// CPU-mode sensitivity rows of Figure 1 inject on page-protected devices).
+func (e *Env) runInjectionOn(
+	devFn func() *gpu.Device,
+	spec *workloads.Spec,
+	golden *GoldenRun,
+	store *ranges.Store,
+	mode translate.Mode,
+	inj Injection,
+) (*InjectionResult, error) {
+	tr, err := e.Instrument(spec, translate.NewOptions(mode))
+	if err != nil {
+		return nil, err
+	}
+	d := devFn()
+	inst := spec.Setup(d, golden.Dataset)
+
+	cb := hrt.NewControlBlock(tr.Detectors, store)
+	rt := hrt.NewFT(cb)
+	injector := &swifi.Injector{}
+	injector.Arm(inj.Cmd)
+	rt.Inject = injector.Probe
+
+	res := &InjectionResult{Injection: inj}
+	_, lerr := d.Launch(tr.Kernel, gpu.LaunchSpec{
+		Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt,
+	})
+	res.Activated = injector.Injected
+	if lerr != nil {
+		res.Outcome = OutcomeFailure
+		_, res.Hang = lerr.(*gpu.HangError)
+		return res, nil
+	}
+	out := inst.ReadOutput()
+	meets := spec.Requirement.Check(golden.Output, out)
+	res.Outcome = Classify(false, cb.SDC(), meets)
+	return res, nil
+}
+
+// CampaignResult aggregates a program's campaign.
+type CampaignResult struct {
+	Spec    *workloads.Spec
+	Results []InjectionResult
+	// ByBits tallies outcomes per error-bit count.
+	ByBits map[int]*Tally
+	// ByClass tallies outcomes per corrupted data class.
+	ByClass map[kir.DataClass]*Tally
+	// All tallies everything.
+	All Tally
+	// Hangs counts hang failures.
+	Hangs int
+}
+
+// RunCampaign executes a full injection campaign for one program.
+func (e *Env) RunCampaign(
+	spec *workloads.Spec,
+	golden *GoldenRun,
+	store *ranges.Store,
+	mode translate.Mode,
+	plan []Injection,
+) (*CampaignResult, error) {
+	out := &CampaignResult{
+		Spec:    spec,
+		ByBits:  make(map[int]*Tally),
+		ByClass: make(map[kir.DataClass]*Tally),
+		Results: make([]InjectionResult, len(plan)),
+	}
+	workers := e.Scale.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, workers)
+	for i := range plan {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := e.RunInjection(spec, golden, store, mode, plan[i])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("injection %d: %w", i, err)
+				}
+				return
+			}
+			out.Results[i] = *r
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range out.Results {
+		r := &out.Results[i]
+		out.All.Add(r.Outcome)
+		if r.Hang {
+			out.Hangs++
+		}
+		tb := out.ByBits[r.Injection.Bits]
+		if tb == nil {
+			tb = &Tally{}
+			out.ByBits[r.Injection.Bits] = tb
+		}
+		tb.Add(r.Outcome)
+		tc := out.ByClass[r.Injection.Class]
+		if tc == nil {
+			tc = &Tally{}
+			out.ByClass[r.Injection.Class] = tc
+		}
+		tc.Add(r.Outcome)
+	}
+	return out, nil
+}

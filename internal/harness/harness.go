@@ -1,0 +1,127 @@
+// Package harness orchestrates the paper's experiments end to end: golden
+// runs, range profiling, performance-overhead comparisons (Figure 13),
+// fault-injection campaigns with five-way outcome classification
+// (Figures 1 and 14), the graphics fault study (Figure 3), value
+// distributions (Figure 10), the bit-flip magnitude study (Figure 15), the
+// false-positive/training study (Figure 16), and the instrumentation-time
+// measurement (Section IX.D).
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"hauberk/internal/core/translate"
+	"hauberk/internal/gpu"
+	"hauberk/internal/workloads"
+)
+
+// Variant names one protection configuration of Figure 13.
+type Variant string
+
+// Evaluation variants.
+const (
+	Baseline  Variant = "baseline"
+	RNaive    Variant = "r-naive"
+	RScatter  Variant = "r-scatter"
+	HauberkNL Variant = "hauberk-nl"
+	HauberkL  Variant = "hauberk-l"
+	Hauberk   Variant = "hauberk"
+)
+
+// Variants lists the comparison order of Figure 13.
+var Variants = []Variant{RNaive, RScatter, HauberkNL, HauberkL, Hauberk}
+
+// Scale sizes the experiments: Full approximates the paper's campaign
+// (~10,000 injections across seven programs); Quick is for tests and CI.
+type Scale struct {
+	// MaxSites bounds injected virtual variables per program (paper:
+	// 20-50).
+	MaxSites int
+	// MasksPerSite is the number of random error masks per variable
+	// (paper: 50, split across the bit counts).
+	MasksPerSite int
+	// BitCounts are the error-bit multiplicities of Figure 14.
+	BitCounts []int
+	// Fig15Samples is the per-cell sample count of the bit-flip study.
+	Fig15Samples int
+	// Fig16Repeats and Fig16Checkpoints size the false-positive study.
+	Fig16Repeats     int
+	Fig16Checkpoints []int
+	// Workers bounds campaign parallelism.
+	Workers int
+}
+
+// FullScale approximates the paper's experiment sizes.
+func FullScale() Scale {
+	return Scale{
+		MaxSites:         50,
+		MasksPerSite:     50,
+		BitCounts:        []int{1, 3, 6, 10, 15},
+		Fig15Samples:     200_000,
+		Fig16Repeats:     10,
+		Fig16Checkpoints: []int{1, 3, 5, 7, 10, 18, 30, 50},
+		Workers:          8,
+	}
+}
+
+// QuickScale is small enough for unit tests.
+func QuickScale() Scale {
+	return Scale{
+		MaxSites:         12,
+		MasksPerSite:     10,
+		BitCounts:        []int{1, 6, 15},
+		Fig15Samples:     5_000,
+		Fig16Repeats:     3,
+		Fig16Checkpoints: []int{1, 5, 10, 25},
+		Workers:          4,
+	}
+}
+
+// Env carries shared experiment state. It caches instrumented kernels
+// (instrumentation is deterministic, and kernels are read-only at launch
+// time, so one instrumented kernel serves all concurrent runs).
+type Env struct {
+	Scale  Scale
+	Config gpu.Config
+
+	mu    sync.Mutex
+	cache map[string]*translate.Result
+}
+
+// NewEnv builds an environment with the default simulated device.
+func NewEnv(scale Scale) *Env {
+	return &Env{Scale: scale, Config: gpu.DefaultConfig(), cache: make(map[string]*translate.Result)}
+}
+
+// Instrument returns the (cached) instrumentation of a program for the
+// given options.
+func (e *Env) Instrument(spec *workloads.Spec, opts translate.Options) (*translate.Result, error) {
+	key := fmt.Sprintf("%s|%d|%d|%v|%v|%v|%s", spec.Name, opts.Mode, opts.MaxVar, opts.NonLoop, opts.Loop, opts.NaiveDup, opts.OnlyVar)
+	e.mu.Lock()
+	if r, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+	r, err := translate.Instrument(spec.Build(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: instrument %s: %w", spec.Name, err)
+	}
+	e.mu.Lock()
+	e.cache[key] = r
+	e.mu.Unlock()
+	return r, nil
+}
+
+// NewDevice creates a fresh simulated device for one run.
+func (e *Env) NewDevice() *gpu.Device { return gpu.New(e.Config) }
+
+// NewCPUDevice creates a device with CPU (page-protected) semantics for
+// the Figure 1 CPU rows.
+func (e *Env) NewCPUDevice() *gpu.Device {
+	cfg := e.Config
+	cfg.Mode = gpu.ModeCPU
+	cfg.SMs = 1
+	return gpu.New(cfg)
+}

@@ -1,0 +1,88 @@
+package harness
+
+// Outcome is the five-way fault-injection outcome classification of
+// Section VIII.
+type Outcome uint8
+
+// Outcomes.
+const (
+	// OutcomeFailure: kernel crash (GPU runtime) or hang (guardian
+	// watchdog).
+	OutcomeFailure Outcome = iota
+	// OutcomeMasked: output satisfies the correctness requirement and no
+	// alarm was raised.
+	OutcomeMasked
+	// OutcomeDetectedMasked: alarm raised, but the output still satisfies
+	// the requirement (needs a re-execution to diagnose, like any alarm).
+	OutcomeDetectedMasked
+	// OutcomeDetected: output violates the requirement and an alarm was
+	// raised.
+	OutcomeDetected
+	// OutcomeUndetected: output violates the requirement and no alarm —
+	// the silent data corruption that escapes the detectors.
+	OutcomeUndetected
+	NumOutcomes
+)
+
+var outcomeNames = [...]string{
+	"failure", "masked", "detected&masked", "detected", "undetected",
+}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "outcome(?)"
+}
+
+// Classify computes the outcome from a run's pieces.
+func Classify(failed bool, sdcAlarm bool, meetsRequirement bool) Outcome {
+	switch {
+	case failed:
+		return OutcomeFailure
+	case meetsRequirement && !sdcAlarm:
+		return OutcomeMasked
+	case meetsRequirement && sdcAlarm:
+		return OutcomeDetectedMasked
+	case sdcAlarm:
+		return OutcomeDetected
+	default:
+		return OutcomeUndetected
+	}
+}
+
+// Tally accumulates outcome counts.
+type Tally [NumOutcomes]int
+
+// Add records one outcome.
+func (t *Tally) Add(o Outcome) { t[o]++ }
+
+// Total returns the number of recorded runs.
+func (t *Tally) Total() int {
+	n := 0
+	for _, c := range t {
+		n += c
+	}
+	return n
+}
+
+// Frac returns the fraction of runs with the given outcome.
+func (t *Tally) Frac(o Outcome) float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(t[o]) / float64(total)
+}
+
+// Coverage is the paper's error detection coverage: the probability that a
+// fault is either detected or masked — equivalently, one minus the
+// undetected-SDC fraction.
+func (t *Tally) Coverage() float64 { return 1 - t.Frac(OutcomeUndetected) }
+
+// Merge adds another tally into this one.
+func (t *Tally) Merge(o Tally) {
+	for i := range t {
+		t[i] += o[i]
+	}
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"testing"
+
+	"hauberk/internal/workloads"
+)
+
+func TestFig13PerfShape(t *testing.T) {
+	e := NewEnv(QuickScale())
+	ds := workloads.Dataset{Index: 0}
+	var (
+		sumHauberk, sumRNaive float64
+		nRows                 int
+	)
+	for _, spec := range workloads.HPC() {
+		prof, err := e.Profile(spec, []workloads.Dataset{ds})
+		if err != nil {
+			t.Fatalf("%s profile: %v", spec.Name, err)
+		}
+		row, err := e.MeasurePerf(spec, ds, prof.Store)
+		if err != nil {
+			t.Fatalf("%s perf: %v", spec.Name, err)
+		}
+		t.Logf("%-8s base=%10.0f rnaive=%8s rscatter=%8s nl=%8s l=%8s hauberk=%8s",
+			row.Program, row.Baseline, row.Overhead(RNaive), row.Overhead(RScatter),
+			row.Overhead(HauberkNL), row.Overhead(HauberkL), row.Overhead(Hauberk))
+
+		sumHauberk += row.Overheads[Hauberk]
+		sumRNaive += row.Overheads[RNaive]
+		nRows++
+
+		if spec.Name == "TPACF" {
+			if row.Overhead(RScatter) != "n/a" {
+				t.Errorf("TPACF should not compile under R-Scatter")
+			}
+		}
+		if row.Overheads[Hauberk] >= row.Overheads[RNaive] {
+			t.Errorf("%s: Hauberk overhead %.1f%% not below R-Naive %.1f%%",
+				spec.Name, row.Overheads[Hauberk], row.Overheads[RNaive])
+		}
+	}
+	avgH := sumHauberk / float64(nRows)
+	avgN := sumRNaive / float64(nRows)
+	t.Logf("avg hauberk=%.1f%% rnaive=%.1f%%", avgH, avgN)
+	if avgH > 40 {
+		t.Errorf("average Hauberk overhead %.1f%%, want the paper's ~15%% ballpark (<40%%)", avgH)
+	}
+	if avgN < 90 || avgN > 115 {
+		t.Errorf("average R-Naive overhead %.1f%%, want ~100%%", avgN)
+	}
+}

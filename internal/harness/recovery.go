@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"hauberk/internal/core/hrt"
+	"hauberk/internal/core/ranges"
+	"hauberk/internal/core/translate"
+	"hauberk/internal/gpu"
+	"hauberk/internal/guardian"
+	"hauberk/internal/kir"
+	"hauberk/internal/swifi"
+	"hauberk/internal/workloads"
+)
+
+// RecoveryStats aggregates a campaign run end-to-end through the guardian
+// (Figure 11): every injected execution is supervised, re-executed on
+// alarms or failures, and diagnosed.
+type RecoveryStats struct {
+	Runs            int
+	Clean           int // no alarm on first execution
+	TransientFixed  int // alarm/failure diagnosed transient; re-execution output taken
+	FalseAlarms     int // identical alarmed outputs; ranges widened on-line
+	DeviceFaults    int // migrated off a disabled device
+	SoftwareErrors  int
+	GaveUp          int
+	Reexecutions    int // executions beyond the first, summed
+	FinalCorrect    int // final accepted output meets the requirement
+	RangesWidened   int // values absorbed by on-line learning
+	AlphaController *guardian.AlphaController
+}
+
+// RunRecoveryCampaign injects each planned fault into a guardian-supervised
+// execution and tallies the diagnosis outcomes. Faults are transient: they
+// arm once and do not re-fire on re-execution, so the guardian's
+// re-execution paths get exercised exactly as the paper describes.
+func (e *Env) RunRecoveryCampaign(
+	spec *workloads.Spec,
+	golden *GoldenRun,
+	store *ranges.Store,
+	plan []Injection,
+) (*RecoveryStats, error) {
+	tr, err := e.Instrument(spec, translate.NewOptions(translate.ModeFIFT))
+	if err != nil {
+		return nil, err
+	}
+	stats := &RecoveryStats{AlphaController: guardian.NewAlphaController()}
+	// One store shared across the campaign: on-line learning and alpha
+	// recalibration accumulate, as they would in production.
+	live := store.Clone()
+
+	for _, inj := range plan {
+		injector := &swifi.Injector{}
+		injector.Arm(inj.Cmd)
+
+		pool := guardian.NewDevicePool(
+			[]*gpu.Device{e.NewDevice(), e.NewDevice()},
+			func(*gpu.Device) bool { return true }, // transient faults: BIST passes
+			2,
+		)
+		run := func(dev *gpu.Device) *guardian.RunOutcome {
+			inst := spec.Setup(dev, golden.Dataset)
+			cb := hrt.NewControlBlock(tr.Detectors, live)
+			rt := hrt.NewFT(cb)
+			rt.Inject = injector.Probe // injector fires once; re-executions are clean
+			res, lerr := dev.Launch(tr.Kernel, gpu.LaunchSpec{
+				Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt,
+			})
+			out := &guardian.RunOutcome{Err: lerr, Cycles: res.Cycles}
+			if lerr == nil {
+				out.Output = inst.ReadOutput()
+				out.SDC = cb.SDC()
+				out.Alarms = cb.Alarms()
+			}
+			return out
+		}
+		cfg := guardian.Config{
+			Pool: pool,
+			OnFalseAlarm: func(alarms []hrt.Alarm) {
+				for _, a := range alarms {
+					if a.Kind != kir.DetectRange { // only range alarms carry a value to learn
+						continue
+					}
+					if a.Detector < len(tr.Detectors) {
+						if det := live.Get(tr.Detectors[a.Detector].Name); det != nil {
+							det.Absorb(a.Value)
+							stats.RangesWidened++
+						}
+					}
+				}
+			},
+		}
+		rep, err := guardian.Supervise(cfg, run)
+		if err != nil {
+			return nil, err
+		}
+		stats.Runs++
+		stats.Reexecutions += rep.Executions - 1
+		switch rep.Diagnosis {
+		case guardian.DiagClean:
+			stats.Clean++
+		case guardian.DiagTransient:
+			stats.TransientFixed++
+		case guardian.DiagFalseAlarm:
+			stats.FalseAlarms++
+		case guardian.DiagDeviceFault:
+			stats.DeviceFaults++
+		case guardian.DiagSoftwareError:
+			stats.SoftwareErrors++
+		case guardian.DiagGaveUp:
+			stats.GaveUp++
+		}
+		if rep.Diagnosis != guardian.DiagGaveUp && rep.Final != nil && rep.Final.Err == nil {
+			if spec.Requirement.Check(golden.Output, rep.Final.Output) {
+				stats.FinalCorrect++
+			}
+		}
+		if rep.Executions > 1 {
+			stats.AlphaController.ObserveDiagnosis(rep.Diagnosis == guardian.DiagFalseAlarm, live)
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"hauberk/internal/workloads"
+)
+
+func TestRecoveryCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("supervised campaign is slow")
+	}
+	e := NewEnv(QuickScale())
+	e.Scale.MaxSites = 8
+	e.Scale.MasksPerSite = 6
+	spec := workloads.CP()
+	ds := workloads.Dataset{Index: 0}
+
+	golden, err := e.Golden(spec, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := e.Profile(spec, []workloads.Dataset{ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := e.PlanCampaign(spec, prof, []int{1, 6})
+	stats, err := e.RunRecoveryCampaign(spec, golden, prof.Store, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("runs=%d clean=%d transient=%d false-alarms=%d device=%d software=%d reexec=%d final-correct=%d widened=%d alpha=%g",
+		stats.Runs, stats.Clean, stats.TransientFixed, stats.FalseAlarms,
+		stats.DeviceFaults, stats.SoftwareErrors, stats.Reexecutions,
+		stats.FinalCorrect, stats.RangesWidened, stats.AlphaController.Alpha())
+
+	if stats.Runs != len(plan) {
+		t.Fatalf("runs = %d, want %d", stats.Runs, len(plan))
+	}
+	if stats.GaveUp != 0 {
+		t.Fatalf("guardian gave up %d times with healthy devices", stats.GaveUp)
+	}
+	// Every output the guardian accepted after a diagnosis (transient or
+	// false alarm) must be correct; the only acceptable wrong outputs are
+	// clean first executions whose SDC escaped the detectors — the
+	// residual undetected fraction of Figure 14.
+	accepted := stats.Runs - stats.GaveUp - stats.SoftwareErrors
+	incorrect := accepted - stats.FinalCorrect
+	if incorrect > stats.Clean {
+		t.Fatalf("%d wrong outputs but only %d clean runs: a diagnosed execution returned a wrong result", incorrect, stats.Clean)
+	}
+	if incorrect == accepted {
+		t.Fatalf("nothing correct at all")
+	}
+	// Detected faults must have triggered re-executions.
+	if stats.TransientFixed > 0 && stats.Reexecutions == 0 {
+		t.Fatalf("transient diagnoses without re-executions")
+	}
+	if stats.TransientFixed == 0 {
+		t.Fatalf("no transient fault was detected+recovered; the campaign should produce some")
+	}
+}

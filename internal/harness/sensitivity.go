@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+
+	"hauberk/internal/core/translate"
+	"hauberk/internal/gpu"
+	"hauberk/internal/kir"
+	"hauberk/internal/workloads"
+)
+
+// SensitivityResult aggregates Figure 1: for one program group, the
+// outcome split per corrupted data class under single-bit injections into
+// the uninstrumented (FI-only) binary. In this baseline setting there are
+// three observable outcomes: failure (crash/hang), silent data corruption
+// (requirement violated, nothing detected it), and not manifested.
+type SensitivityResult struct {
+	Group   string
+	ByClass map[kir.DataClass]*Tally
+	// Runs counts the injections performed.
+	Runs int
+}
+
+// SDCRatio returns the SDC fraction for a data class.
+func (s *SensitivityResult) SDCRatio(c kir.DataClass) float64 {
+	t := s.ByClass[c]
+	if t == nil {
+		return 0
+	}
+	return t.Frac(OutcomeUndetected)
+}
+
+// FailureRatio returns the crash/hang fraction for a data class.
+func (s *SensitivityResult) FailureRatio(c kir.DataClass) float64 {
+	t := s.ByClass[c]
+	if t == nil {
+		return 0
+	}
+	return t.Frac(OutcomeFailure)
+}
+
+// Sensitivity runs the Figure 1 study for a program group. cpuMode runs
+// the programs on a page-protected scalar device, reproducing the
+// CPU-program profile (low SDC, high crash) from the same injections.
+func (e *Env) Sensitivity(group string, specs []*workloads.Spec, cpuMode bool) (*SensitivityResult, error) {
+	out := &SensitivityResult{Group: group, ByClass: make(map[kir.DataClass]*Tally)}
+	devFn := e.NewDevice
+	if cpuMode {
+		devFn = e.NewCPUDevice
+	}
+	for _, spec := range specs {
+		golden, err := e.goldenOn(devFn, spec)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := e.Profile(spec, []workloads.Dataset{{Index: 0}})
+		if err != nil {
+			return nil, err
+		}
+		// Figure 1 uses single-bit errors only (SEU emulation).
+		plan := e.PlanCampaign(spec, prof, []int{1})
+		for _, inj := range plan {
+			r, err := e.runInjectionOn(devFn, spec, golden, nil, translate.ModeFI, inj)
+			if err != nil {
+				return nil, err
+			}
+			t := out.ByClass[inj.Class]
+			if t == nil {
+				t = &Tally{}
+				out.ByClass[inj.Class] = t
+			}
+			t.Add(r.Outcome)
+			out.Runs++
+		}
+	}
+	return out, nil
+}
+
+func (e *Env) goldenOn(devFn func() *gpu.Device, spec *workloads.Spec) (*GoldenRun, error) {
+	d := devFn()
+	inst := spec.Setup(d, workloads.Dataset{Index: 0})
+	res, err := d.Launch(spec.Build(), gpu.LaunchSpec{Grid: inst.Grid, Block: inst.Block, Args: inst.Args})
+	if err != nil {
+		return nil, fmt.Errorf("harness: golden run of %s: %w", spec.Name, err)
+	}
+	return &GoldenRun{Spec: spec, Dataset: workloads.Dataset{Index: 0}, Output: inst.ReadOutput(), Result: res}, nil
+}

@@ -1,0 +1,439 @@
+package kir
+
+import "sort"
+
+// LoopInfo describes one outermost loop region of a kernel. The paper's
+// translator treats each maximal loop (with everything nested inside it) as
+// one protection region: non-loop detectors cover the code before, after
+// and between these regions, and one loop detector set covers each region
+// (Section V).
+type LoopInfo struct {
+	Stmt     Stmt // *For or *While
+	For      *For // non-nil when the region is a counted loop
+	TopIndex int  // index of the loop statement in the kernel's top-level block
+	RegionID int  // dense loop-region index within the kernel
+
+	// DefinedIn lists virtual variables introduced by Define statements
+	// inside the region (including nested blocks), in program order.
+	DefinedIn []*Var
+	// AssignedIn lists variables re-assigned inside the region (loop
+	// accumulators, iterators of nested loops are not included).
+	AssignedIn []*Var
+	// SelfAccum lists self-accumulating variables: variables defined
+	// before the loop and re-assigned inside it by an expression that
+	// reads the variable itself (e.g. energy = energy + dx). These are
+	// protectable for free (Section V.B step i).
+	SelfAccum []*Var
+	// Outputs lists region variables whose value escapes: stored to
+	// memory inside the region or used after the region ends.
+	Outputs []*Var
+
+	directDeps map[*Var]map[*Var]bool // region-var -> region-vars it reads
+	loadCount  map[*Var]int           // region-var -> loads in its defining stmts
+	regionVars map[*Var]bool
+}
+
+// Analysis holds the kernel-wide dataflow facts the translator needs.
+type Analysis struct {
+	Kernel *Kernel
+	Loops  []*LoopInfo
+
+	// LastTopUse maps each variable to the largest top-level statement
+	// index at which it is read (uses anywhere inside a nested region
+	// count at the region's top-level index). Variables never read are
+	// absent.
+	LastTopUse map[*Var]int
+
+	// UseCount counts reads of each variable anywhere in the kernel.
+	UseCount map[*Var]int
+
+	// AssignedInLoop marks variables re-assigned inside any loop region.
+	AssignedInLoop map[*Var]bool
+
+	// UsedInLoop marks variables read inside any loop region.
+	UsedInLoop map[*Var]bool
+
+	// MaxLive estimates the peak number of simultaneously live variables
+	// (the register pressure the paper's Fig. 8 discussion is about).
+	MaxLive int
+}
+
+// Analyze computes the dataflow facts for a kernel.
+func Analyze(k *Kernel) *Analysis {
+	a := &Analysis{
+		Kernel:         k,
+		LastTopUse:     make(map[*Var]int),
+		UseCount:       make(map[*Var]int),
+		AssignedInLoop: make(map[*Var]bool),
+		UsedInLoop:     make(map[*Var]bool),
+	}
+
+	for i, s := range k.Body {
+		// Record uses at this top-level index.
+		var scratch []*Var
+		collectUses(s, &scratch)
+		for _, v := range scratch {
+			a.LastTopUse[v] = i
+			a.UseCount[v]++
+		}
+
+		switch n := s.(type) {
+		case *For:
+			li := a.analyzeLoop(n, n.Body, i)
+			li.For = n
+			a.Loops = append(a.Loops, li)
+		case *While:
+			a.Loops = append(a.Loops, a.analyzeLoop(n, n.Body, i))
+		}
+	}
+	for ri, li := range a.Loops {
+		li.RegionID = ri
+	}
+	a.computeOutputs()
+	a.MaxLive = maxLive(k)
+	return a
+}
+
+// collectUses appends every variable read by s (including nested blocks,
+// loop bounds and pointer bases) to out.
+func collectUses(s Stmt, out *[]*Var) {
+	WalkStmts(Block{s}, func(st Stmt) bool {
+		for _, e := range StmtExprs(nil, st) {
+			*out = ExprUses(*out, e)
+		}
+		if sb, ok := st.(Store); ok {
+			*out = append(*out, sb.Base)
+		}
+		return true
+	})
+}
+
+func (a *Analysis) analyzeLoop(stmt Stmt, body Block, topIndex int) *LoopInfo {
+	li := &LoopInfo{
+		Stmt:       stmt,
+		TopIndex:   topIndex,
+		directDeps: make(map[*Var]map[*Var]bool),
+		loadCount:  make(map[*Var]int),
+		regionVars: make(map[*Var]bool),
+	}
+
+	// First pass: identify region variables (defined or assigned inside).
+	WalkStmts(body, func(s Stmt) bool {
+		switch n := s.(type) {
+		case Define:
+			li.DefinedIn = append(li.DefinedIn, n.Dst)
+			li.regionVars[n.Dst] = true
+		case Assign:
+			if !li.regionVars[n.Dst] {
+				li.AssignedIn = append(li.AssignedIn, n.Dst)
+			}
+			li.regionVars[n.Dst] = true
+		case *For:
+			li.regionVars[n.Iter] = true
+		}
+		return true
+	})
+
+	// Second pass: dependency edges, load counts, self-accumulators.
+	seenSelf := make(map[*Var]bool)
+	WalkStmts(body, func(s Stmt) bool {
+		dst := StmtDef(s)
+		if dst == nil {
+			return true
+		}
+		var e Expr
+		switch n := s.(type) {
+		case Define:
+			e = n.E
+		case Assign:
+			e = n.E
+			if ReadsVar(n.E, n.Dst) && !seenSelf[n.Dst] {
+				// Self-accumulating only when the storage pre-exists the
+				// loop; a Define inside the region makes it loop-local.
+				isLocalDef := false
+				for _, d := range li.DefinedIn {
+					if d == n.Dst {
+						isLocalDef = true
+						break
+					}
+				}
+				if !isLocalDef {
+					li.SelfAccum = append(li.SelfAccum, n.Dst)
+					seenSelf[n.Dst] = true
+				}
+			}
+		default:
+			return true // For iterators carry no dataflow edges
+		}
+		deps := li.directDeps[dst]
+		if deps == nil {
+			deps = make(map[*Var]bool)
+			li.directDeps[dst] = deps
+		}
+		for _, u := range ExprUses(nil, e) {
+			if li.regionVars[u] {
+				deps[u] = true
+			}
+		}
+		nLoads := 0
+		WalkExpr(e, func(x Expr) bool {
+			if _, ok := x.(Load); ok {
+				nLoads++
+			}
+			return true
+		})
+		li.loadCount[dst] += nLoads
+		return true
+	})
+	return li
+}
+
+// computeOutputs fills each loop's Outputs: region variables stored to
+// memory inside the region or read after the region's top-level index.
+func (a *Analysis) computeOutputs() {
+	for _, li := range a.Loops {
+		var body Block
+		switch n := li.Stmt.(type) {
+		case *For:
+			body = n.Body
+		case *While:
+			body = n.Body
+		}
+		stored := make(map[*Var]bool)
+		WalkStmts(body, func(s Stmt) bool {
+			if st, ok := s.(Store); ok {
+				for _, u := range ExprUses(nil, st.Val) {
+					stored[u] = true
+				}
+			}
+			return true
+		})
+		// Region-wide use marking for the kernel-level maps.
+		WalkStmts(body, func(s Stmt) bool {
+			for _, e := range StmtExprs(nil, s) {
+				for _, u := range ExprUses(nil, e) {
+					a.UsedInLoop[u] = true
+				}
+			}
+			if as, ok := s.(Assign); ok {
+				a.AssignedInLoop[as.Dst] = true
+			}
+			return true
+		})
+		seen := make(map[*Var]bool)
+		addOut := func(v *Var) {
+			if !seen[v] {
+				seen[v] = true
+				li.Outputs = append(li.Outputs, v)
+			}
+		}
+		for v := range li.regionVars {
+			if v.Synth {
+				continue
+			}
+			if stored[v] || a.LastTopUse[v] > li.TopIndex {
+				addOut(v)
+			}
+		}
+		sort.Slice(li.Outputs, func(i, j int) bool { return li.Outputs[i].ID < li.Outputs[j].ID })
+	}
+}
+
+// RegionVar reports whether v is defined or assigned inside the region.
+func (li *LoopInfo) RegionVar(v *Var) bool { return li.regionVars[v] }
+
+// BackwardDep computes the cumulative backward dataflow dependency of v
+// within the loop region (Figure 9): the number of distinct region
+// variables that are directly or indirectly used to compute v, plus the
+// number of memory loads feeding that computation, excluding constants and
+// excluding variables defined outside the region (those are protected by
+// non-loop detectors).
+func (li *LoopInfo) BackwardDep(v *Var) int {
+	visited := make(map[*Var]bool)
+	loads := 0
+	var dfs func(x *Var)
+	dfs = func(x *Var) {
+		if visited[x] {
+			return
+		}
+		visited[x] = true
+		loads += li.loadCount[x]
+		for d := range li.directDeps[x] {
+			dfs(d)
+		}
+	}
+	dfs(v)
+	// visited includes v itself; dependencies exclude it.
+	return len(visited) - 1 + loads
+}
+
+// BackwardCone returns v's dependency cone within the region: every region
+// variable with forward dataflow to v (directly or indirectly feeding v),
+// including v itself. The selection algorithm excludes this set after
+// selecting v, because errors in those variables propagate into v and are
+// already covered (Section V.B step i).
+func (li *LoopInfo) BackwardCone(v *Var) map[*Var]bool {
+	visited := make(map[*Var]bool)
+	var dfs func(x *Var)
+	dfs = func(x *Var) {
+		if visited[x] {
+			return
+		}
+		visited[x] = true
+		for d := range li.directDeps[x] {
+			dfs(d)
+		}
+	}
+	dfs(v)
+	return visited
+}
+
+// ForwardDependents returns the set of region variables that (directly or
+// indirectly) consume v's value. Used by the selection algorithm: once a
+// variable is selected for protection, everything with forward dataflow to
+// it is already covered (Section V.B step i).
+func (li *LoopInfo) ForwardDependents(v *Var) map[*Var]bool {
+	out := make(map[*Var]bool)
+	changed := true
+	for changed {
+		changed = false
+		for dst, deps := range li.directDeps {
+			if out[dst] {
+				continue
+			}
+			for d := range deps {
+				if d == v || out[d] {
+					out[dst] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TripCount returns an expression for the loop's iteration count
+// max(0, ceil((Limit-Init)/Step)), or nil when the count is not derivable
+// (the bounds read a variable that the body re-assigns). The returned
+// expression clones the loop bounds so the caller can evaluate it before
+// the loop executes, matching the paper's "computed and stored in a
+// variable before the loop" rule.
+func (li *LoopInfo) TripCount() Expr {
+	f := li.For
+	if f == nil {
+		return nil
+	}
+	for _, e := range []Expr{f.Init, f.Limit, f.Step} {
+		for _, u := range ExprUses(nil, e) {
+			if li.regionVars[u] {
+				return nil
+			}
+		}
+	}
+	init := CloneExpr(f.Init, nil)
+	limit := CloneExpr(f.Limit, nil)
+	step := CloneExpr(f.Step, nil)
+	// (limit - init + step - 1) / step, clamped at zero.
+	diff := Bin{Op: Sub, L: limit, R: init}
+	num := Bin{Op: Sub, L: Bin{Op: Add, L: diff, R: step}, R: ConstI32(1)}
+	count := Bin{Op: Div, L: num, R: CloneExpr(f.Step, nil)}
+	return Call{Fn: Max, Args: []Expr{count, ConstI32(0)}}
+}
+
+// maxLive estimates peak register pressure: variables are assigned linear
+// positions in preorder; a variable is live from its definition to its last
+// use, extended to the end of any loop that uses it but defines it outside.
+func maxLive(k *Kernel) int {
+	type interval struct{ def, last int }
+	live := make(map[*Var]*interval)
+	pos := 0
+
+	var walk func(b Block) int // returns position after block
+	walk = func(b Block) int {
+		for _, s := range b {
+			pos++
+			here := pos
+			if d := StmtDef(s); d != nil {
+				if live[d] == nil {
+					live[d] = &interval{def: here, last: here}
+				} else if live[d].last < here {
+					live[d].last = here
+				}
+			}
+			var used []*Var
+			for _, e := range StmtExprs(nil, s) {
+				used = ExprUses(used, e)
+			}
+			if st, ok := s.(Store); ok {
+				used = append(used, st.Base)
+			}
+			start := here
+			switch n := s.(type) {
+			case *If:
+				walk(n.Then)
+				walk(n.Else)
+			case *For:
+				walk(n.Body)
+			case *While:
+				walk(n.Body)
+			}
+			end := pos
+			// Uses recorded at statement entry; inner-block uses were
+			// handled recursively, but vars defined before a loop and used
+			// inside must live to the loop's end.
+			switch s.(type) {
+			case *For, *While:
+				WalkStmts(Block{s}, func(inner Stmt) bool {
+					var iu []*Var
+					for _, e := range StmtExprs(nil, inner) {
+						iu = ExprUses(iu, e)
+					}
+					for _, v := range iu {
+						if iv := live[v]; iv != nil && iv.def < start {
+							if iv.last < end {
+								iv.last = end
+							}
+						}
+					}
+					return true
+				})
+			}
+			for _, v := range used {
+				if iv := live[v]; iv != nil {
+					if iv.last < here {
+						iv.last = here
+					}
+				} else {
+					live[v] = &interval{def: 0, last: here} // parameter
+				}
+			}
+		}
+		return pos
+	}
+	walk(k.Body)
+
+	// Sweep.
+	type ev struct {
+		at    int
+		delta int
+	}
+	var evs []ev
+	for _, iv := range live {
+		evs = append(evs, ev{iv.def, +1}, ev{iv.last + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}

@@ -1,0 +1,120 @@
+package kir
+
+// Clone deep-copies a kernel into fresh nodes and a fresh variable table.
+// It returns the copy and the mapping from original variables to their
+// clones. Instrumentation always operates on a clone so that the original
+// ("baseline") kernel stays untouched — the Hauberk framework builds five
+// binaries from one source (original, profiler, FT, FI, FI&FT; Figure 7),
+// and in this reproduction each binary is a differently instrumented clone.
+func Clone(k *Kernel) (*Kernel, map[*Var]*Var) {
+	c := NewKernel(k.Name)
+	vm := make(map[*Var]*Var, len(k.vars))
+	for _, v := range k.vars {
+		var nv *Var
+		if v.Type == Ptr {
+			nv = c.NewPtrVar(v.Name, v.Elem)
+		} else {
+			nv = c.NewVar(v.Name, v.Type)
+		}
+		nv.Synth = v.Synth
+		vm[v] = nv
+	}
+	for _, p := range k.Params {
+		c.AddParam(vm[p])
+	}
+	c.Body = CloneBlock(k.Body, vm)
+	return c, vm
+}
+
+// CloneBlock deep-copies a block, remapping variables through vm. Variables
+// absent from vm are shared (used when rewriting within one kernel).
+func CloneBlock(b Block, vm map[*Var]*Var) Block {
+	if b == nil {
+		return nil
+	}
+	out := make(Block, 0, len(b))
+	for _, s := range b {
+		out = append(out, CloneStmt(s, vm))
+	}
+	return out
+}
+
+func mapVar(v *Var, vm map[*Var]*Var) *Var {
+	if v == nil {
+		return nil
+	}
+	if nv, ok := vm[v]; ok {
+		return nv
+	}
+	return v
+}
+
+// CloneStmt deep-copies one statement.
+func CloneStmt(s Stmt, vm map[*Var]*Var) Stmt {
+	switch n := s.(type) {
+	case Define:
+		return Define{Dst: mapVar(n.Dst, vm), E: CloneExpr(n.E, vm)}
+	case Assign:
+		return Assign{Dst: mapVar(n.Dst, vm), E: CloneExpr(n.E, vm)}
+	case Store:
+		return Store{Base: mapVar(n.Base, vm), Index: CloneExpr(n.Index, vm), Val: CloneExpr(n.Val, vm)}
+	case *If:
+		return &If{Cond: CloneExpr(n.Cond, vm), Then: CloneBlock(n.Then, vm), Else: CloneBlock(n.Else, vm)}
+	case *For:
+		return &For{
+			Iter:  mapVar(n.Iter, vm),
+			Init:  CloneExpr(n.Init, vm),
+			Limit: CloneExpr(n.Limit, vm),
+			Step:  CloneExpr(n.Step, vm),
+			Body:  CloneBlock(n.Body, vm),
+		}
+	case *While:
+		return &While{Cond: CloneExpr(n.Cond, vm), Body: CloneBlock(n.Body, vm)}
+	case Sync:
+		return Sync{}
+	case FIProbe:
+		return FIProbe{Site: n.Site, Target: mapVar(n.Target, vm), HW: n.HW}
+	case RangeCheck:
+		return RangeCheck{Detector: n.Detector, Accum: mapVar(n.Accum, vm), Count: mapVar(n.Count, vm)}
+	case EqualCheck:
+		return EqualCheck{Detector: n.Detector, Count: mapVar(n.Count, vm), Expected: CloneExpr(n.Expected, vm)}
+	case ProfileSample:
+		return ProfileSample{Detector: n.Detector, Accum: mapVar(n.Accum, vm), Count: mapVar(n.Count, vm)}
+	case CountExec:
+		return CountExec{Site: n.Site}
+	case SetSDC:
+		return SetSDC{Detector: n.Detector, Kind: n.Kind}
+	}
+	panic("kir: unknown statement type in CloneStmt")
+}
+
+// CloneExpr deep-copies an expression, remapping variables through vm.
+func CloneExpr(e Expr, vm map[*Var]*Var) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case Const:
+		return n
+	case VarRef:
+		return VarRef{V: mapVar(n.V, vm)}
+	case Bin:
+		return Bin{Op: n.Op, L: CloneExpr(n.L, vm), R: CloneExpr(n.R, vm)}
+	case Un:
+		return Un{Op: n.Op, X: CloneExpr(n.X, vm)}
+	case Load:
+		return Load{Base: mapVar(n.Base, vm), Index: CloneExpr(n.Index, vm)}
+	case Call:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = CloneExpr(a, vm)
+		}
+		return Call{Fn: n.Fn, Args: args}
+	case Special:
+		return n
+	case Convert:
+		return Convert{To: n.To, X: CloneExpr(n.X, vm)}
+	case Bitcast:
+		return Bitcast{To: n.To, X: CloneExpr(n.X, vm)}
+	}
+	panic("kir: unknown expression type in CloneExpr")
+}

@@ -1,0 +1,149 @@
+// Package kir defines the kernel intermediate representation (IR) used
+// throughout the Hauberk reproduction.
+//
+// The paper's HAUBERK framework is a source-to-source translator over CUDA
+// C++ kernels (an extension of CETUS). In this reproduction a GPU kernel is
+// represented as a typed IR value: a tree of statements and expressions over
+// "virtual variables". Following the paper (Section V.A), a virtual variable
+// is a subset of the live range of program state with one definition and
+// multiple uses; in the IR every Define statement introduces one virtual
+// variable, and re-assignment (Assign) starts a new value of the same
+// storage (used for loop accumulators and iterators).
+//
+// The IR is deliberately small but complete enough to express the Parboil
+// workloads the paper evaluates: 32-bit integer, unsigned and float scalar
+// arithmetic, pointer-indexed loads and stores to device memory, counted
+// loops, while loops, conditionals, thread/block indices, and the intrinsic
+// statements that the Hauberk translator inserts (checksum updates, range
+// checks, fault-injection probes, profiling samples).
+//
+// Everything downstream operates on this IR: the translator
+// (internal/core/translate) rewrites it, the GPU simulator (internal/gpu)
+// interprets it, and the fault injector (internal/swifi) arms probes in it.
+package kir
+
+import "fmt"
+
+// Type is the scalar type of an IR value. All types are 32 bits wide, as on
+// the GT200-class hardware the paper evaluates; the checksum technique in
+// the paper likewise operates on 4-byte-aligned values.
+type Type uint8
+
+// Scalar types.
+const (
+	Invalid Type = iota
+	I32          // signed 32-bit integer
+	U32          // unsigned 32-bit integer
+	F32          // IEEE-754 binary32
+	Bool         // predicate (control flow only)
+	Ptr          // device pointer (word address into the global arena)
+)
+
+var typeNames = [...]string{
+	Invalid: "invalid",
+	I32:     "i32",
+	U32:     "u32",
+	F32:     "f32",
+	Bool:    "bool",
+	Ptr:     "ptr",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Numeric reports whether t participates in arithmetic.
+func (t Type) Numeric() bool { return t == I32 || t == U32 || t == F32 }
+
+// DataClass classifies a variable for error-sensitivity reporting, matching
+// the three data types of the paper's Figure 1 (pointer, integer, FP).
+type DataClass uint8
+
+// Data classes used by the sensitivity study.
+const (
+	ClassPointer DataClass = iota
+	ClassInteger
+	ClassFloat
+)
+
+func (c DataClass) String() string {
+	switch c {
+	case ClassPointer:
+		return "pointer"
+	case ClassInteger:
+		return "integer"
+	case ClassFloat:
+		return "float"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassOf maps an IR type to its sensitivity data class.
+func ClassOf(t Type) DataClass {
+	switch t {
+	case Ptr:
+		return ClassPointer
+	case F32:
+		return ClassFloat
+	default:
+		return ClassInteger
+	}
+}
+
+// Var is a kernel variable: a parameter, a virtual variable introduced by a
+// Define, or a mutable register (iterator/accumulator) updated by Assign.
+type Var struct {
+	ID    int    // dense index within the kernel; stable across clones
+	Name  string // diagnostic name; unique within the kernel
+	Type  Type
+	Elem  Type // element type when Type == Ptr
+	Param bool // declared as a kernel parameter
+
+	// Synth marks variables introduced by instrumentation (checksums,
+	// duplicates, accumulators). Synthetic variables are never themselves
+	// fault-injection targets or protection targets.
+	Synth bool
+}
+
+func (v *Var) String() string {
+	if v == nil {
+		return "<nil-var>"
+	}
+	return v.Name
+}
+
+// Class returns the sensitivity data class of the variable.
+func (v *Var) Class() DataClass { return ClassOf(v.Type) }
+
+// HW identifies the hardware component a statement exercises, mirroring the
+// fault-location taxonomy of Section VII (ALU, FPU, register file, SM
+// scheduler).
+type HW uint8
+
+// Hardware components.
+const (
+	HWALU HW = iota
+	HWFPU
+	HWRegister
+	HWScheduler
+	HWMemory
+)
+
+func (h HW) String() string {
+	switch h {
+	case HWALU:
+		return "ALU"
+	case HWFPU:
+		return "FPU"
+	case HWRegister:
+		return "REG"
+	case HWScheduler:
+		return "SCHED"
+	case HWMemory:
+		return "MEM"
+	}
+	return fmt.Sprintf("hw(%d)", uint8(h))
+}

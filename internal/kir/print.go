@@ -1,0 +1,148 @@
+package kir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the kernel as pseudo-CUDA source. The output is the golden
+// format used by the translator tests: Figure 8 of the paper shows original
+// vs instrumented source side by side, and the tests assert the same
+// transformations on printed IR.
+func Print(k *Kernel) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "__global__ void %s(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if p.Type == Ptr {
+			fmt.Fprintf(&sb, "%s *%s", p.Elem, p.Name)
+		} else {
+			fmt.Fprintf(&sb, "%s %s", p.Type, p.Name)
+		}
+	}
+	sb.WriteString(") {\n")
+	printBlock(&sb, k.Body, 1)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func printBlock(sb *strings.Builder, b Block, depth int) {
+	for _, s := range b {
+		printStmt(sb, s, depth)
+	}
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	indent(sb, depth)
+	switch n := s.(type) {
+	case Define:
+		fmt.Fprintf(sb, "%s %s = %s;\n", n.Dst.Type, n.Dst.Name, ExprString(n.E))
+	case Assign:
+		fmt.Fprintf(sb, "%s = %s;\n", n.Dst.Name, ExprString(n.E))
+	case Store:
+		fmt.Fprintf(sb, "%s[%s] = %s;\n", n.Base.Name, ExprString(n.Index), ExprString(n.Val))
+	case *If:
+		fmt.Fprintf(sb, "if (%s) {\n", ExprString(n.Cond))
+		printBlock(sb, n.Then, depth+1)
+		if len(n.Else) > 0 {
+			indent(sb, depth)
+			sb.WriteString("} else {\n")
+			printBlock(sb, n.Else, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *For:
+		fmt.Fprintf(sb, "for (int %s = %s; %s < %s; %s += %s) {\n",
+			n.Iter.Name, ExprString(n.Init), n.Iter.Name, ExprString(n.Limit),
+			n.Iter.Name, ExprString(n.Step))
+		printBlock(sb, n.Body, depth+1)
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *While:
+		fmt.Fprintf(sb, "while (%s) {\n", ExprString(n.Cond))
+		printBlock(sb, n.Body, depth+1)
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case Sync:
+		sb.WriteString("__syncthreads();\n")
+	case FIProbe:
+		fmt.Fprintf(sb, "HauberkFI(cb, /*site*/%d, &%s, %s, %s);\n",
+			n.Site, n.Target.Name, n.Target.Type, n.HW)
+	case RangeCheck:
+		if n.Count != nil {
+			fmt.Fprintf(sb, "HauberkCheckRange(cb, %d, %s / %s);\n",
+				n.Detector, n.Accum.Name, n.Count.Name)
+		} else {
+			fmt.Fprintf(sb, "HauberkCheckRange(cb, %d, %s);\n", n.Detector, n.Accum.Name)
+		}
+	case EqualCheck:
+		fmt.Fprintf(sb, "HauberkCheckEqual(cb, %d, %s, %s);\n",
+			n.Detector, n.Count.Name, ExprString(n.Expected))
+	case ProfileSample:
+		if n.Count != nil {
+			fmt.Fprintf(sb, "HauberkProfile(cb, %d, %s / %s);\n",
+				n.Detector, n.Accum.Name, n.Count.Name)
+		} else {
+			fmt.Fprintf(sb, "HauberkProfile(cb, %d, %s);\n", n.Detector, n.Accum.Name)
+		}
+	case CountExec:
+		fmt.Fprintf(sb, "HauberkCount(cb, /*site*/%d);\n", n.Site)
+	case SetSDC:
+		fmt.Fprintf(sb, "HauberkSetSDC(cb, %d, /*%s*/);\n", n.Detector, n.Kind)
+	default:
+		fmt.Fprintf(sb, "/* unknown stmt %T */\n", s)
+	}
+}
+
+// ExprString renders an expression.
+func ExprString(e Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return "<nil>"
+	case Const:
+		switch n.T {
+		case F32:
+			return strconv.FormatFloat(float64(n.Float()), 'g', -1, 32) + "f"
+		case I32:
+			return strconv.FormatInt(int64(n.Int()), 10)
+		case U32:
+			return strconv.FormatUint(uint64(n.Bits), 10) + "u"
+		case Bool:
+			if n.Bits != 0 {
+				return "true"
+			}
+			return "false"
+		}
+		return fmt.Sprintf("const(%s,%#x)", n.T, n.Bits)
+	case VarRef:
+		return n.V.Name
+	case Bin:
+		return fmt.Sprintf("(%s %s %s)", ExprString(n.L), n.Op, ExprString(n.R))
+	case Un:
+		return fmt.Sprintf("%s%s", n.Op, ExprString(n.X))
+	case Load:
+		return fmt.Sprintf("%s[%s]", n.Base.Name, ExprString(n.Index))
+	case Call:
+		parts := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			parts[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", n.Fn, strings.Join(parts, ", "))
+	case Special:
+		return n.Kind.String()
+	case Convert:
+		return fmt.Sprintf("(%s)%s", n.To, ExprString(n.X))
+	case Bitcast:
+		return fmt.Sprintf("__bits<%s>(%s)", n.To, ExprString(n.X))
+	}
+	return fmt.Sprintf("expr(%T)", e)
+}

@@ -1,0 +1,183 @@
+package kir
+
+// Stmt is an IR statement. Statements form blocks; blocks form the kernel
+// body. Statement identity matters to the analyses (def-use chains index
+// statements by pointer), so statements are always handled as values inside
+// slices and compared positionally, never aliased across kernels — Clone
+// produces fresh nodes.
+type Stmt interface{ isStmt() }
+
+// Block is an ordered statement list.
+type Block []Stmt
+
+// Define introduces a virtual variable: the single definition point of Dst.
+// Per the paper, a virtual variable has one definition and multiple uses;
+// the validator enforces that each non-parameter variable is defined by
+// exactly one Define (Assign re-assignments are modelled separately).
+type Define struct {
+	Dst *Var
+	E   Expr
+}
+
+func (Define) isStmt() {}
+
+// Assign re-assigns an existing variable. It is how loop accumulators
+// (x = x + e), iterator manipulation, and parameter updates are expressed.
+// For the translator, an Assign whose right-hand side reads Dst makes Dst a
+// self-accumulating variable (Section V.B step i).
+type Assign struct {
+	Dst *Var
+	E   Expr
+}
+
+func (Assign) isStmt() {}
+
+// Store writes one element to device memory: Base[Index] = Val.
+type Store struct {
+	Base  *Var
+	Index Expr
+	Val   Expr
+}
+
+func (Store) isStmt() {}
+
+// If branches on a predicate. Else may be nil.
+type If struct {
+	Cond Expr
+	Then Block
+	Else Block
+}
+
+func (*If) isStmt() {}
+
+// For is a canonical counted loop:
+//
+//	for Iter = Init; Iter < Limit; Iter += Step { Body }
+//
+// Iter is a mutable I32 variable scoped to the loop. The counted form is
+// what lets the translator derive the loop-iteration-count invariant
+// checked by HauberkCheckEqual (Section V.B step iv): when Init, Limit and
+// Step do not change inside Body, the trip count is a computable program
+// invariant.
+type For struct {
+	Iter  *Var
+	Init  Expr
+	Limit Expr
+	Step  Expr
+	Body  Block
+}
+
+func (*For) isStmt() {}
+
+// While loops until Cond is false. Used for the data-dependent retry loops
+// (e.g. TPACF's write-then-read-back loop described in Section IX.B).
+type While struct {
+	Cond Expr
+	Body Block
+}
+
+func (*While) isStmt() {}
+
+// Sync is a block-level barrier (__syncthreads analogue). The simulator
+// charges its cost; it has no other semantic effect because the simulator
+// executes each block's threads to completion deterministically.
+type Sync struct{}
+
+func (Sync) isStmt() {}
+
+// --- intrinsic statements inserted by the Hauberk translator -------------
+//
+// These model calls into the Hauberk user-level C library (profiler, FT and
+// FI variants, Table I). Arithmetic inserted by the translator (checksum
+// XORs, duplicated computations, comparisons) is ordinary IR and costs
+// ordinary cycles; the intrinsics below correspond to the library calls the
+// paper adds, and the simulator charges them library-call costs.
+
+// FIProbe is a fault-injection hook placed after a state-changing statement
+// (Section VII, Figure 12). It delivers the variable identity, its data
+// type, and the hardware component used by the preceding statement to the
+// FI library, which flips bits in the target when the armed injection
+// command matches this site.
+type FIProbe struct {
+	Site   int  // dense site index within the kernel
+	Target *Var // variable whose value the preceding statement produced
+	HW     HW   // hardware component exercised by the preceding statement
+}
+
+func (FIProbe) isStmt() {}
+
+// RangeCheck is the HauberkCheckRange(controlblock, det, accum/count) call
+// placed right after a protected loop (Section V.B step iv). The runtime
+// divides the accumulated value by the count and checks it against the
+// profiled value ranges in the control block.
+type RangeCheck struct {
+	Detector int  // loop-detector index within the kernel
+	Accum    *Var // accumulator variable
+	Count    *Var // accumulation counter (nil: check Accum directly)
+}
+
+func (RangeCheck) isStmt() {}
+
+// EqualCheck is the HauberkCheckEqual(controlblock, det, count, expected)
+// call verifying the loop-iteration-count invariant.
+type EqualCheck struct {
+	Detector int
+	Count    *Var
+	Expected Expr
+}
+
+func (EqualCheck) isStmt() {}
+
+// ProfileSample records accum/count into the profiler's range learner for
+// the given detector (profiler library, Table I "[GPU] After loop").
+type ProfileSample struct {
+	Detector int
+	Accum    *Var
+	Count    *Var
+}
+
+func (ProfileSample) isStmt() {}
+
+// CountExec increments the profiler's per-site execution counter. The FI
+// campaign uses these counts to pick the dynamic instance at which to
+// inject (Table I "[GPU] After definition of virtual variable").
+type CountExec struct{ Site int }
+
+func (CountExec) isStmt() {}
+
+// SetSDC raises the SDC error bit in the control block. The translator
+// emits it guarded by an If: the checksum validation at kernel exit and the
+// duplicated-computation mismatch check both lower to If + SetSDC. Per the
+// paper's deferred-reporting principle the kernel keeps running; the bit is
+// examined by the CPU-side recovery engine after completion.
+type SetSDC struct {
+	Detector int
+	Kind     DetectKind
+}
+
+func (SetSDC) isStmt() {}
+
+// DetectKind says which detector family raised an alarm.
+type DetectKind uint8
+
+// Detector families.
+const (
+	DetectChecksum DetectKind = iota // non-loop duplication + checksum
+	DetectRange                      // loop value-range check
+	DetectIter                       // loop iteration-count invariant
+	DetectDup                        // immediate duplicate-computation compare
+)
+
+func (k DetectKind) String() string {
+	switch k {
+	case DetectChecksum:
+		return "checksum"
+	case DetectRange:
+		return "range"
+	case DetectIter:
+		return "iter"
+	case DetectDup:
+		return "dup"
+	}
+	return "detect(?)"
+}

@@ -1,0 +1,211 @@
+package kir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks structural invariants of a kernel:
+//
+//   - every variable referenced belongs to this kernel's variable table;
+//   - every non-parameter variable is defined (Define or For iterator)
+//     before it is read, and defined at most once;
+//   - expression operand types agree with operator expectations;
+//   - Load/Store bases are pointer-typed;
+//   - loop bounds and conditions have the expected types.
+//
+// It returns all problems found joined into one error, or nil.
+func Validate(k *Kernel) error {
+	v := &validator{k: k, defined: make(map[*Var]bool), owned: make(map[*Var]bool)}
+	for _, x := range k.vars {
+		v.owned[x] = true
+	}
+	for _, p := range k.Params {
+		if !v.owned[p] {
+			v.errorf("parameter %s not in kernel variable table", p)
+		}
+		v.defined[p] = true
+	}
+	v.block(k.Body)
+	return errors.Join(v.errs...)
+}
+
+type validator struct {
+	k       *Kernel
+	defined map[*Var]bool
+	owned   map[*Var]bool
+	errs    []error
+}
+
+func (v *validator) errorf(format string, args ...any) {
+	v.errs = append(v.errs, fmt.Errorf("kernel %s: "+format, append([]any{v.k.Name}, args...)...))
+}
+
+func (v *validator) checkVar(x *Var, ctx string) {
+	if x == nil {
+		v.errorf("%s: nil variable", ctx)
+		return
+	}
+	if !v.owned[x] {
+		v.errorf("%s: variable %s belongs to another kernel", ctx, x)
+	}
+}
+
+func (v *validator) useVar(x *Var, ctx string) {
+	v.checkVar(x, ctx)
+	if x != nil && v.owned[x] && !v.defined[x] {
+		v.errorf("%s: variable %s read before definition", ctx, x)
+	}
+}
+
+func (v *validator) defVar(x *Var, ctx string) {
+	v.checkVar(x, ctx)
+	if x == nil || !v.owned[x] {
+		return
+	}
+	if v.defined[x] {
+		v.errorf("%s: variable %s defined more than once", ctx, x)
+	}
+	v.defined[x] = true
+}
+
+func (v *validator) block(b Block) {
+	for _, s := range b {
+		v.stmt(s)
+	}
+}
+
+func (v *validator) stmt(s Stmt) {
+	switch n := s.(type) {
+	case Define:
+		v.expr(n.E, "define "+n.Dst.String())
+		v.defVar(n.Dst, "define")
+		if n.Dst != nil && n.E != nil && n.Dst.Type != n.E.ResultType() {
+			v.errorf("define %s: type %s != expr type %s", n.Dst, n.Dst.Type, n.E.ResultType())
+		}
+	case Assign:
+		v.expr(n.E, "assign "+n.Dst.String())
+		v.useVar(n.Dst, "assign target")
+		if n.Dst != nil && n.E != nil && n.Dst.Type != n.E.ResultType() {
+			v.errorf("assign %s: type %s != expr type %s", n.Dst, n.Dst.Type, n.E.ResultType())
+		}
+	case Store:
+		v.useVar(n.Base, "store base")
+		if n.Base != nil && n.Base.Type != Ptr {
+			v.errorf("store base %s is %s, want ptr", n.Base, n.Base.Type)
+		}
+		v.expr(n.Index, "store index")
+		v.expr(n.Val, "store value")
+		if n.Base != nil && n.Val != nil && n.Base.Elem != n.Val.ResultType() {
+			v.errorf("store to %s: element %s != value type %s", n.Base, n.Base.Elem, n.Val.ResultType())
+		}
+	case *If:
+		v.expr(n.Cond, "if cond")
+		if n.Cond != nil && n.Cond.ResultType() != Bool {
+			v.errorf("if condition has type %s, want bool", n.Cond.ResultType())
+		}
+		v.block(n.Then)
+		v.block(n.Else)
+	case *For:
+		v.expr(n.Init, "for init")
+		v.expr(n.Limit, "for limit")
+		v.expr(n.Step, "for step")
+		v.defVar(n.Iter, "for iterator")
+		if n.Iter != nil && n.Iter.Type != I32 {
+			v.errorf("for iterator %s has type %s, want i32", n.Iter, n.Iter.Type)
+		}
+		v.block(n.Body)
+	case *While:
+		v.expr(n.Cond, "while cond")
+		if n.Cond != nil && n.Cond.ResultType() != Bool {
+			v.errorf("while condition has type %s, want bool", n.Cond.ResultType())
+		}
+		v.block(n.Body)
+	case Sync, CountExec, SetSDC:
+		// no operands
+	case FIProbe:
+		v.useVar(n.Target, "fi probe")
+	case RangeCheck:
+		v.useVar(n.Accum, "range check accumulator")
+		if n.Count != nil {
+			v.useVar(n.Count, "range check counter")
+		}
+	case EqualCheck:
+		v.useVar(n.Count, "equal check counter")
+		v.expr(n.Expected, "equal check expected")
+	case ProfileSample:
+		v.useVar(n.Accum, "profile sample accumulator")
+		if n.Count != nil {
+			v.useVar(n.Count, "profile sample counter")
+		}
+	default:
+		v.errorf("unknown statement type %T", s)
+	}
+}
+
+func (v *validator) expr(e Expr, ctx string) {
+	if e == nil {
+		v.errorf("%s: nil expression", ctx)
+		return
+	}
+	switch n := e.(type) {
+	case Const:
+		if n.T == Invalid {
+			v.errorf("%s: invalid constant type", ctx)
+		}
+	case VarRef:
+		v.useVar(n.V, ctx)
+	case Bin:
+		v.expr(n.L, ctx)
+		v.expr(n.R, ctx)
+		if n.L == nil || n.R == nil {
+			return
+		}
+		lt, rt := n.L.ResultType(), n.R.ResultType()
+		switch {
+		case n.Op.Logical():
+			if lt != Bool || rt != Bool {
+				v.errorf("%s: %s wants bool operands, got %s and %s", ctx, n.Op, lt, rt)
+			}
+		case n.Op == Add || n.Op == Sub:
+			// Pointer arithmetic: ptr +- int.
+			if lt == Ptr && (rt == I32 || rt == U32) {
+				return
+			}
+			fallthrough
+		default:
+			if lt != rt {
+				v.errorf("%s: %s operand types differ: %s vs %s", ctx, n.Op, lt, rt)
+			}
+			if (n.Op == Rem || n.Op == And || n.Op == Or || n.Op == Xor || n.Op == Shl || n.Op == Shr) && lt == F32 {
+				v.errorf("%s: %s not defined on f32", ctx, n.Op)
+			}
+		}
+	case Un:
+		v.expr(n.X, ctx)
+	case Load:
+		v.useVar(n.Base, ctx)
+		if n.Base != nil && n.Base.Type != Ptr {
+			v.errorf("%s: load base %s is %s, want ptr", ctx, n.Base, n.Base.Type)
+		}
+		v.expr(n.Index, ctx)
+	case Call:
+		if len(n.Args) != n.Fn.arity() {
+			v.errorf("%s: %s takes %d args, got %d", ctx, n.Fn, n.Fn.arity(), len(n.Args))
+		}
+		for _, a := range n.Args {
+			v.expr(a, ctx)
+		}
+	case Special:
+		// always valid
+	case Convert:
+		v.expr(n.X, ctx)
+		if !n.To.Numeric() {
+			v.errorf("%s: convert to non-numeric %s", ctx, n.To)
+		}
+	case Bitcast:
+		v.expr(n.X, ctx)
+	default:
+		v.errorf("%s: unknown expression type %T", ctx, e)
+	}
+}

@@ -1,0 +1,141 @@
+package swifi
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file implements the value-impact analysis behind Figure 15: how the
+// magnitude of an FP value changes when 1..15 of its bits are corrupted,
+// measured over millions of randomly generated samples. The paper uses it
+// to argue that multi-bit faults usually change values by many orders of
+// magnitude, which is why loose (large-alpha) range detectors still catch
+// most of them.
+
+// MagnitudeBucket classifies the magnitude of the value change |x' - x|
+// into the buckets of Figure 15's legend.
+type MagnitudeBucket int
+
+// Buckets, ordered smallest change to largest.
+const (
+	BucketUnder1Em15 MagnitudeBucket = iota // < 1e-15
+	Bucket1Em15To1Em9
+	Bucket1Em9To1Em6
+	Bucket1Em6To1Em3
+	Bucket1Em3To1E3
+	Bucket1E3To1E6
+	Bucket1E6To1E9
+	Bucket1E9To1E15
+	BucketOver1E15 // > 1e+15 (includes NaN/Inf transitions)
+	NumMagnitudeBuckets
+)
+
+var bucketNames = [...]string{
+	"<1E-15", "1E-15~1E-9", "1E-9~1E-6", "1E-6~1E-3", "1E-3~1E+3",
+	"1E+3~1E+6", "1E+6~1E+9", "1E+9~1E+15", ">1E+15",
+}
+
+func (b MagnitudeBucket) String() string {
+	if int(b) < len(bucketNames) {
+		return bucketNames[b]
+	}
+	return "bucket(?)"
+}
+
+// ClassifyChange buckets the absolute change between the original and
+// corrupted FP value.
+func ClassifyChange(orig, corrupted float32) MagnitudeBucket {
+	diff := math.Abs(float64(corrupted) - float64(orig))
+	switch {
+	case math.IsNaN(diff) || math.IsInf(diff, 0) || diff > 1e15:
+		return BucketOver1E15
+	case diff > 1e9:
+		return Bucket1E9To1E15
+	case diff > 1e6:
+		return Bucket1E6To1E9
+	case diff > 1e3:
+		return Bucket1E3To1E6
+	case diff > 1e-3:
+		return Bucket1Em3To1E3
+	case diff > 1e-6:
+		return Bucket1Em6To1Em3
+	case diff > 1e-9:
+		return Bucket1Em9To1Em6
+	case diff > 1e-15:
+		return Bucket1Em15To1Em9
+	default:
+		return BucketUnder1Em15
+	}
+}
+
+// ValueRangeBand identifies the original-value magnitude bands on
+// Figure 15's x-axis.
+type ValueRangeBand int
+
+// Original-value bands.
+const (
+	Band1Em38To1Em15 ValueRangeBand = iota
+	Band1Em15To1Em3
+	Band1Em3To1E3
+	Band1E3To1E15
+	Band1E15To1E45
+	NumValueBands
+)
+
+var bandNames = [...]string{
+	"1E-38~1E-15", "1E-15~1E-3", "1E-3~1E+3", "1E+3~1E+15", "1E+15~1E+45",
+}
+
+func (b ValueRangeBand) String() string {
+	if int(b) < len(bandNames) {
+		return bandNames[b]
+	}
+	return "band(?)"
+}
+
+// bandBounds returns the magnitude interval of a band.
+func bandBounds(b ValueRangeBand) (lo, hi float64) {
+	switch b {
+	case Band1Em38To1Em15:
+		return 1e-38, 1e-15
+	case Band1Em15To1Em3:
+		return 1e-15, 1e-3
+	case Band1Em3To1E3:
+		return 1e-3, 1e3
+	case Band1E3To1E15:
+		return 1e3, 1e15
+	default:
+		return 1e15, 1e38
+	}
+}
+
+// FlipStudy runs the Figure 15 experiment: for each original-value band
+// and each error-bit count, it corrupts samplesPerCell random FP values
+// and returns the distribution of magnitude changes.
+// result[band][bitIdx][bucket] is a fraction in [0, 1].
+func FlipStudy(rng *rand.Rand, bitCounts []int, samplesPerCell int) [][][]float64 {
+	out := make([][][]float64, NumValueBands)
+	for band := ValueRangeBand(0); band < NumValueBands; band++ {
+		out[band] = make([][]float64, len(bitCounts))
+		lo, hi := bandBounds(band)
+		logLo, logHi := math.Log10(lo), math.Log10(hi)
+		for bi, bits := range bitCounts {
+			counts := make([]float64, NumMagnitudeBuckets)
+			for s := 0; s < samplesPerCell; s++ {
+				mag := math.Pow(10, logLo+rng.Float64()*(logHi-logLo))
+				v := float32(mag)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				mask := RandomMask(rng, bits)
+				corrupted := math.Float32frombits(math.Float32bits(v) ^ mask)
+				counts[ClassifyChange(v, corrupted)]++
+			}
+			for i := range counts {
+				counts[i] /= float64(samplesPerCell)
+			}
+			out[band][bi] = counts
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"hauberk/internal/gpu"
+	"hauberk/internal/kir"
+	"hauberk/internal/stats"
+)
+
+// CP dimensions: one thread per grid point, looping over all atoms.
+const (
+	cpWidth  = 32
+	cpHeight = 16
+	cpPoints = cpWidth * cpHeight
+	cpAtoms  = 128
+	cpBlock  = 64
+)
+
+// CP is the coulombic-potential benchmark: each thread computes the
+// electrostatic potential at one lattice point by summing contributions of
+// all atoms. Its loop accumulates into a self-accumulating FP variable
+// (energy), which is why HAUBERK-L protects it with zero added code inside
+// the loop (Section IX.A). Figure 9 of the paper draws this kernel's
+// dataflow graph.
+func CP() *Spec {
+	return &Spec{
+		Name:           "CP",
+		Class:          ClassFP,
+		Description:    "coulombic potential over a 2-D lattice",
+		SharedMemBytes: 2048,
+		NumDatasets:    52,
+		Build:          buildCP,
+		Setup:          setupCP,
+		Requirement:    FPRelReq("max{1e-4, 1%|GRi|}", 1e-4, 0.01),
+	}
+}
+
+func buildCP() *kir.Kernel {
+	b := kir.NewBuilder("cp")
+	atominfo := b.PtrParam("atominfo", kir.F32)
+	grid := b.PtrParam("energygrid", kir.F32)
+	numatoms := b.Param("numatoms", kir.I32)
+	width := b.Param("width", kir.I32)
+	spacing := b.Param("gridspacing", kir.F32)
+
+	tid := b.Def("tid", kir.GlobalID())
+	px := b.Def("px", kir.ToF32(kir.XRem(kir.V(tid), kir.V(width))))
+	py := b.Def("py", kir.ToF32(kir.XDiv(kir.V(tid), kir.V(width))))
+	coorx := b.Def("coorx", kir.XMul(kir.V(spacing), kir.V(px)))
+	coory := b.Def("coory", kir.XMul(kir.V(spacing), kir.V(py)))
+	energy := b.Local("energy", kir.F(0))
+
+	b.For("atomid", kir.I(0), kir.V(numatoms), func(atomid *kir.Var) {
+		aptr := b.DefPtr("aptr", kir.F32,
+			kir.XAdd(kir.V(atominfo), kir.XMul(kir.V(atomid), kir.I(4))))
+		dx := b.Def("dx", kir.XSub(kir.V(coorx), kir.Ld(aptr, kir.I(0))))
+		dy := b.Def("dy", kir.XSub(kir.V(coory), kir.Ld(aptr, kir.I(1))))
+		dz := b.Def("dz", kir.Ld(aptr, kir.I(2)))
+		q := b.Def("q", kir.Ld(aptr, kir.I(3)))
+		r2 := b.Def("r2", kir.XAdd(
+			kir.XAdd(kir.XMul(kir.V(dx), kir.V(dx)), kir.XMul(kir.V(dy), kir.V(dy))),
+			kir.XMul(kir.V(dz), kir.V(dz))))
+		e := b.Def("e", kir.XMul(kir.V(q), kir.XRSqrt(r2AddSoft(r2))))
+		b.Accum(energy, kir.V(e))
+	})
+	b.Store(grid, kir.V(tid), kir.V(energy))
+	return b.Kernel()
+}
+
+// r2AddSoft softens the squared distance so coincident points cannot
+// produce an infinite potential in the golden run.
+func r2AddSoft(r2 *kir.Var) kir.Expr {
+	return kir.XAdd(kir.V(r2), kir.F(1e-4))
+}
+
+func setupCP(d *gpu.Device, ds Dataset) *Instance {
+	rng := stats.NewRng("cp", ds.Index)
+	atoms := d.Alloc("atominfo", kir.F32, cpAtoms*4)
+	grid := d.Alloc("energygrid", kir.F32, cpPoints)
+
+	// Datasets vary atom placement and charge scale mildly: CP inputs are
+	// parameters of one physical model, so its range detectors converge
+	// quickly in the Figure 16 study.
+	chargeScale := float32(0.8 + 0.4*rng.Float64())
+	data := make([]float32, cpAtoms*4)
+	for a := 0; a < cpAtoms; a++ {
+		data[4*a+0] = float32(rng.Float64()) * cpWidth * 0.1
+		data[4*a+1] = float32(rng.Float64()) * cpHeight * 0.1
+		data[4*a+2] = float32(rng.Float64()) * 0.5
+		data[4*a+3] = (float32(rng.Float64())*2 - 1) * chargeScale
+	}
+	d.WriteF32(atoms, 0, data)
+
+	return &Instance{
+		Grid:    cpPoints / cpBlock,
+		Block:   cpBlock,
+		Args:    []gpu.Arg{gpu.BufArg(atoms), gpu.BufArg(grid), gpu.I32Arg(cpAtoms), gpu.I32Arg(cpWidth), gpu.F32Arg(0.1)},
+		Output:  grid,
+		OutElem: kir.F32,
+		Device:  d,
+	}
+}

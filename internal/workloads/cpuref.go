@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"hauberk/internal/gpu"
+	"hauberk/internal/kir"
+	"hauberk/internal/stats"
+)
+
+// CPU reference dimensions.
+const (
+	cpuThreads = 64
+	cpuNodes   = 512
+	cpuChain   = 96
+)
+
+// CPURef is the control-flow-heavy reference program for Figure 1's CPU
+// rows. It walks pointer-linked records and folds their payloads — the
+// pointer/integer-dominated state profile of the systems software whose
+// sensitivity the paper cites from [14]. Run it on a gpu.Device in
+// ModeCPU: page-granularity protection then turns most corrupted-pointer
+// accesses into crashes instead of silent corruptions, reproducing the
+// low-SDC/high-crash CPU profile.
+func CPURef() *Spec {
+	return &Spec{
+		Name:           "cpu-ref",
+		Class:          ClassCPU,
+		Description:    "pointer-chasing record fold (CPU sensitivity reference)",
+		SharedMemBytes: 0,
+		NumDatasets:    8,
+		Build:          buildCPURef,
+		Setup:          setupCPURef,
+		Requirement:    ExactReq(),
+	}
+}
+
+func buildCPURef() *kir.Kernel {
+	b := kir.NewBuilder("cpuref")
+	nodes := b.PtrParam("nodes", kir.I32) // records: [payload, nextOffset] pairs
+	heads := b.PtrParam("heads", kir.I32)
+	out := b.PtrParam("sums", kir.I32)
+	chain := b.Param("chainlen", kir.I32)
+
+	tid := b.Def("tid", kir.GlobalID())
+	start := b.Def("start", kir.Ld(heads, kir.V(tid)))
+	p := b.DefPtr("p", kir.I32, kir.XAdd(kir.V(nodes), kir.V(start)))
+	sum := b.Local("sum", kir.I(0))
+	odd := b.Local("odd", kir.I(0))
+
+	b.For("k", kir.I(0), kir.V(chain), func(k *kir.Var) {
+		payload := b.Def("payload", kir.Ld(p, kir.I(0)))
+		next := b.Def("next", kir.Ld(p, kir.I(1)))
+		// Branchy integer logic, as in systems code: only a quarter of
+		// the records contribute to the checked output; the rest feed
+		// internal bookkeeping that the program never externalizes (the
+		// reason most data faults in CPU programs do not manifest).
+		b.If(kir.XEq(kir.XAnd(kir.V(payload), kir.I(3)), kir.I(0)), func() {
+			b.Set(sum, kir.XAdd(kir.V(sum), kir.V(payload)))
+		}, func() {
+			b.Set(odd, kir.XAdd(kir.V(odd), kir.I(1)))
+		})
+		b.Set(p, kir.XAdd(kir.V(nodes), kir.V(next)))
+	})
+	b.Store(out, kir.V(tid), kir.V(sum))
+	return b.Kernel()
+}
+
+func setupCPURef(d *gpu.Device, ds Dataset) *Instance {
+	rng := stats.NewRng("cpuref", ds.Index)
+	nodesB := d.Alloc("nodes", kir.I32, cpuNodes*2)
+	headsB := d.Alloc("heads", kir.I32, cpuThreads)
+	outB := d.Alloc("sums", kir.I32, cpuThreads)
+
+	recs := make([]int32, cpuNodes*2)
+	perm := rng.Perm(cpuNodes)
+	for i := 0; i < cpuNodes; i++ {
+		recs[2*i] = int32(rng.Intn(1 << 16))
+		recs[2*i+1] = int32(2 * perm[i]) // word offset of the next record
+	}
+	d.WriteI32(nodesB, 0, recs)
+	heads := make([]int32, cpuThreads)
+	for i := range heads {
+		heads[i] = int32(2 * rng.Intn(cpuNodes))
+	}
+	d.WriteI32(headsB, 0, heads)
+
+	return &Instance{
+		Grid:    cpuThreads / 32,
+		Block:   32,
+		Args:    []gpu.Arg{gpu.BufArg(nodesB), gpu.BufArg(headsB), gpu.BufArg(outB), gpu.I32Arg(cpuChain)},
+		Output:  outB,
+		OutElem: kir.I32,
+		Device:  d,
+	}
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"hauberk/internal/gpu"
+	"hauberk/internal/kir"
+	"hauberk/internal/stats"
+)
+
+// Graphics dimensions.
+const (
+	oceanW     = 64
+	oceanH     = 64
+	oceanWaves = 8
+	rayPixels  = 1024
+	raySpheres = 8
+	grBlock    = 64
+)
+
+// OceanFlow is the ocean-flow simulation from the GPU SDK used in
+// Section II: every pixel of the frame sums a set of travelling sine
+// waves into a height value. Figure 3 injects one corrupted value
+// (invisible) versus 10,000 corrupted values (a visible stripe) into its
+// frames.
+func OceanFlow() *Spec {
+	return &Spec{
+		Name:           "ocean-flow",
+		Class:          ClassGraphics,
+		Description:    "ocean height-field frame rendering",
+		SharedMemBytes: 1024,
+		NumDatasets:    8,
+		Build:          buildOcean,
+		Setup:          setupOcean,
+		// A transient single-value error is not user-noticeable at 30fps;
+		// a large cluster is (Observation 3).
+		Requirement: FrameReq(50, 0.05),
+	}
+}
+
+func buildOcean() *kir.Kernel {
+	b := kir.NewBuilder("oceanflow")
+	waves := b.PtrParam("waves", kir.F32) // 4 floats per wave: kx, ky, amp, phase
+	frame := b.PtrParam("frame", kir.F32)
+	t := b.Param("time", kir.F32)
+	width := b.Param("width", kir.I32)
+
+	tid := b.Def("tid", kir.GlobalID())
+	fx := b.Def("fx", kir.ToF32(kir.XRem(kir.V(tid), kir.V(width))))
+	fy := b.Def("fy", kir.ToF32(kir.XDiv(kir.V(tid), kir.V(width))))
+	h := b.Local("height", kir.F(0))
+
+	b.For("w", kir.I(0), kir.I(oceanWaves), func(w *kir.Var) {
+		wptr := b.DefPtr("wptr", kir.F32, kir.XAdd(kir.V(waves), kir.XMul(kir.V(w), kir.I(4))))
+		kx := b.Def("kx", kir.Ld(wptr, kir.I(0)))
+		ky := b.Def("ky", kir.Ld(wptr, kir.I(1)))
+		amp := b.Def("amp", kir.Ld(wptr, kir.I(2)))
+		phase := b.Def("phase", kir.Ld(wptr, kir.I(3)))
+		arg := b.Def("arg", kir.XAdd(
+			kir.XAdd(kir.XMul(kir.V(kx), kir.V(fx)), kir.XMul(kir.V(ky), kir.V(fy))),
+			kir.XAdd(kir.V(phase), kir.V(t))))
+		b.Accum(h, kir.XMul(kir.V(amp), kir.XSin(kir.V(arg))))
+	})
+	b.Store(frame, kir.V(tid), kir.V(h))
+	return b.Kernel()
+}
+
+func setupOcean(d *gpu.Device, ds Dataset) *Instance {
+	rng := stats.NewRng("ocean", ds.Index)
+	wavesB := d.Alloc("waves", kir.F32, oceanWaves*4)
+	frameB := d.Alloc("frame", kir.F32, oceanW*oceanH)
+
+	data := make([]float32, oceanWaves*4)
+	for w := 0; w < oceanWaves; w++ {
+		data[4*w+0] = float32(rng.Float64()*0.5 + 0.05)
+		data[4*w+1] = float32(rng.Float64()*0.5 + 0.05)
+		data[4*w+2] = float32(rng.Float64()*0.12 + 0.02)
+		data[4*w+3] = float32(rng.Float64() * twoPi)
+	}
+	d.WriteF32(wavesB, 0, data)
+
+	return &Instance{
+		Grid:    oceanW * oceanH / grBlock,
+		Block:   grBlock,
+		Args:    []gpu.Arg{gpu.BufArg(wavesB), gpu.BufArg(frameB), gpu.F32Arg(float32(ds.Index) * 0.1), gpu.I32Arg(oceanW)},
+		Output:  frameB,
+		OutElem: kir.F32,
+		Device:  d,
+	}
+}
+
+// RayTrace is the second 3D-graphics program: one thread per pixel casts a
+// ray into a small sphere scene and shades the nearest hit.
+func RayTrace() *Spec {
+	return &Spec{
+		Name:           "ray-trace",
+		Class:          ClassGraphics,
+		Description:    "per-pixel sphere ray casting",
+		SharedMemBytes: 2048,
+		NumDatasets:    8,
+		Build:          buildRayTrace,
+		Setup:          setupRayTrace,
+		Requirement:    FrameReq(50, 0.05),
+	}
+}
+
+func buildRayTrace() *kir.Kernel {
+	b := kir.NewBuilder("raytrace")
+	spheres := b.PtrParam("spheres", kir.F32) // 4 floats: cx, cy, cz, r
+	frame := b.PtrParam("frame", kir.F32)
+	width := b.Param("width", kir.I32)
+
+	tid := b.Def("tid", kir.GlobalID())
+	// Normalized ray direction through the pixel (orthographic-ish toy
+	// camera looking down +z).
+	rx := b.Def("rx", kir.XSub(kir.XDiv(kir.ToF32(kir.XRem(kir.V(tid), kir.V(width))), kir.ToF32(kir.V(width))), kir.F(0.5)))
+	ry := b.Def("ry", kir.XSub(kir.XDiv(kir.ToF32(kir.XDiv(kir.V(tid), kir.V(width))), kir.ToF32(kir.V(width))), kir.F(0.5)))
+	shade := b.Local("shade", kir.F(0))
+	tmin := b.Local("tmin", kir.F(1e30))
+
+	b.For("s", kir.I(0), kir.I(raySpheres), func(s *kir.Var) {
+		sptr := b.DefPtr("sptr", kir.F32, kir.XAdd(kir.V(spheres), kir.XMul(kir.V(s), kir.I(4))))
+		dx := b.Def("dx", kir.XSub(kir.V(rx), kir.Ld(sptr, kir.I(0))))
+		dy := b.Def("dy", kir.XSub(kir.V(ry), kir.Ld(sptr, kir.I(1))))
+		cz := b.Def("cz", kir.Ld(sptr, kir.I(2)))
+		rad := b.Def("rad", kir.Ld(sptr, kir.I(3)))
+		d2 := b.Def("d2", kir.XAdd(kir.XMul(kir.V(dx), kir.V(dx)), kir.XMul(kir.V(dy), kir.V(dy))))
+		disc := b.Def("disc", kir.XSub(kir.XMul(kir.V(rad), kir.V(rad)), kir.V(d2)))
+		b.If(kir.XGt(kir.V(disc), kir.F(0)), func() {
+			thit := b.Def("thit", kir.XSub(kir.V(cz), kir.XSqrt(kir.V(disc))))
+			b.If(kir.XLt(kir.V(thit), kir.V(tmin)), func() {
+				b.Set(tmin, kir.V(thit))
+				b.Set(shade, kir.XDiv(kir.V(disc), kir.XMul(kir.V(rad), kir.V(rad))))
+			}, nil)
+		}, nil)
+	})
+	b.Store(frame, kir.V(tid), kir.V(shade))
+	return b.Kernel()
+}
+
+func setupRayTrace(d *gpu.Device, ds Dataset) *Instance {
+	rng := stats.NewRng("raytrace", ds.Index)
+	sphB := d.Alloc("spheres", kir.F32, raySpheres*4)
+	frameB := d.Alloc("frame", kir.F32, rayPixels)
+
+	data := make([]float32, raySpheres*4)
+	for s := 0; s < raySpheres; s++ {
+		data[4*s+0] = float32(rng.Float64() - 0.5)
+		data[4*s+1] = float32(rng.Float64() - 0.5)
+		data[4*s+2] = float32(rng.Float64()*4 + 1)
+		data[4*s+3] = float32(rng.Float64()*0.15 + 0.05)
+	}
+	d.WriteF32(sphB, 0, data)
+
+	return &Instance{
+		Grid:    rayPixels / grBlock,
+		Block:   grBlock,
+		Args:    []gpu.Arg{gpu.BufArg(sphB), gpu.BufArg(frameB), gpu.I32Arg(32)},
+		Output:  frameB,
+		OutElem: kir.F32,
+		Device:  d,
+	}
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"hauberk/internal/gpu"
+	"hauberk/internal/kir"
+	"hauberk/internal/stats"
+)
+
+// PNS dimensions.
+const (
+	pnsThreads = 128
+	pnsBlock   = 32
+	pnsSteps   = 256
+)
+
+// PNS is the Petri-net simulation benchmark — the suite's integer program.
+// Each thread simulates an independent stochastic Petri net: an integer
+// LCG draws which transition fires, place markings move accordingly, and a
+// self-accumulating integer statistic (the time-weighted marking) is the
+// program output. Because the inputs parameterize one fixed simulation
+// model, its accumulated statistics barely move across datasets — the
+// paper's explanation for PNS's fast false-positive convergence
+// (Figure 16). Integer accumulation also makes its HAUBERK-L detector the
+// cheapest of the suite (Section IX.A).
+func PNS() *Spec {
+	return &Spec{
+		Name:           "PNS",
+		Class:          ClassInt,
+		Description:    "stochastic Petri net simulation (integer)",
+		SharedMemBytes: 1024,
+		NumDatasets:    52,
+		Build:          buildPNS,
+		Setup:          setupPNS,
+		Requirement:    IntTolReq("max{0.01, 1%|GRi|}", 0.01, 0.01),
+	}
+}
+
+func buildPNS() *kir.Kernel {
+	b := kir.NewBuilder("pns")
+	out := b.PtrParam("stats", kir.I32) // time-weighted marking per thread
+	randoms := b.PtrParam("randoms", kir.I32)
+	steps := b.Param("steps", kir.I32)
+	tokens := b.Param("tokens", kir.I32)
+	numT := b.Param("numthreads", kir.I32)
+
+	tid := b.Def("tid", kir.GlobalID())
+	rbase := b.Def("rbase", kir.XMul(kir.V(tid), kir.V(steps)))
+	p0 := b.Local("p0", kir.V(tokens))
+	p1 := b.Local("p1", kir.I(0))
+	p2 := b.Local("p2", kir.I(0))
+	marking := b.Local("marking", kir.I(0))
+	peak := b.Local("peak", kir.I(0))
+
+	b.For("t", kir.I(0), kir.V(steps), func(t *kir.Var) {
+		// Pre-generated random word for this step (the host generates the
+		// firing sequence, as Parboil's PNS does).
+		draw := b.Def("draw", kir.Ld(randoms, kir.XAdd(kir.V(rbase), kir.V(t))))
+		r := b.Def("r", kir.XAnd(kir.XShr(kir.V(draw), kir.I(16)), kir.I(3)))
+		// Transition 0: move a token p0 -> p1.
+		b.If(kir.XLAnd(kir.XEq(kir.V(r), kir.I(0)), kir.XGt(kir.V(p0), kir.I(0))), func() {
+			b.Set(p0, kir.XSub(kir.V(p0), kir.I(1)))
+			b.Set(p1, kir.XAdd(kir.V(p1), kir.I(1)))
+		}, nil)
+		// Transition 1: move a token p1 -> p2.
+		b.If(kir.XLAnd(kir.XEq(kir.V(r), kir.I(1)), kir.XGt(kir.V(p1), kir.I(0))), func() {
+			b.Set(p1, kir.XSub(kir.V(p1), kir.I(1)))
+			b.Set(p2, kir.XAdd(kir.V(p2), kir.I(1)))
+		}, nil)
+		// Transition 2: recycle p2 -> p0.
+		b.If(kir.XLAnd(kir.XEq(kir.V(r), kir.I(2)), kir.XGt(kir.V(p2), kir.I(0))), func() {
+			b.Set(p2, kir.XSub(kir.V(p2), kir.I(1)))
+			b.Set(p0, kir.XAdd(kir.V(p0), kir.I(1)))
+		}, nil)
+		// Transition 3: batch arrival of burst tokens into p0, rate
+		// limited to twice the initial marking.
+		burst := b.Def("burst", kir.XAnd(kir.XShr(kir.V(draw), kir.I(8)), kir.I(3)))
+		b.If(kir.XLAnd(kir.XEq(kir.V(r), kir.I(3)),
+			kir.XLt(kir.V(p0), kir.XMul(kir.V(tokens), kir.I(2)))), func() {
+			b.Set(p0, kir.XAdd(kir.V(p0), kir.V(burst)))
+		}, nil)
+		// Time-weighted marking statistic: the self-accumulating integer
+		// variable the loop detector protects.
+		weight := b.Def("weight", kir.XAdd(kir.V(p1), kir.XMul(kir.I(2), kir.V(p2))))
+		b.Accum(marking, kir.V(weight))
+		b.If(kir.XGt(kir.V(weight), kir.V(peak)), func() {
+			b.Set(peak, kir.V(weight))
+		}, nil)
+	})
+	// The program's output is the accumulated statistic; the raw end
+	// markings stay internal (the simulation reports averages, so small
+	// trajectory perturbations that decay are legitimately masked).
+	b.Store(out, kir.V(tid), kir.XAdd(kir.V(marking), kir.XMul(kir.V(peak), kir.V(numT))))
+	return b.Kernel()
+}
+
+func setupPNS(d *gpu.Device, ds Dataset) *Instance {
+	rng := stats.NewRng("pns", ds.Index)
+	outB := d.Alloc("stats", kir.I32, pnsThreads)
+	randB := d.Alloc("randoms", kir.I32, pnsThreads*pnsSteps)
+	// Fixed simulation model: only the pre-generated firing sequence
+	// varies across datasets, plus a small token-count jitter.
+	draws := make([]int32, pnsThreads*pnsSteps)
+	for i := range draws {
+		draws[i] = rng.Int31()
+	}
+	d.WriteI32(randB, 0, draws)
+	tokens := int32(60 + rng.Intn(8))
+	return &Instance{
+		Grid:  pnsThreads / pnsBlock,
+		Block: pnsBlock,
+		Args: []gpu.Arg{
+			gpu.BufArg(outB), gpu.BufArg(randB), gpu.I32Arg(pnsSteps),
+			gpu.I32Arg(tokens), gpu.I32Arg(pnsThreads),
+		},
+		Output:  outB,
+		OutElem: kir.I32,
+		Device:  d,
+	}
+}

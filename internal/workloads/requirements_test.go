@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func fbits(vs ...float32) []uint32 {
+	out := make([]uint32, len(vs))
+	for i, v := range vs {
+		out[i] = math.Float32bits(v)
+	}
+	return out
+}
+
+func ibits(vs ...int32) []uint32 {
+	out := make([]uint32, len(vs))
+	for i, v := range vs {
+		out[i] = uint32(v)
+	}
+	return out
+}
+
+func TestFPRelReq(t *testing.T) {
+	req := FPRelReq("1%", 1e-4, 0.01)
+	g := fbits(100, 0.00001)
+	if !req.Check(g, fbits(100.5, 0.00001)) {
+		t.Fatalf("0.5%% deviation must pass a 1%% requirement")
+	}
+	if req.Check(g, fbits(102, 0.00001)) {
+		t.Fatalf("2%% deviation must violate a 1%% requirement")
+	}
+	// The absolute floor covers tiny golden values.
+	if !req.Check(g, fbits(100, 0.00008)) {
+		t.Fatalf("deviation under the absolute floor must pass")
+	}
+	if req.Check(g, fbits(100, 0.001)) {
+		t.Fatalf("deviation over the absolute floor must violate")
+	}
+	if req.Check(g, fbits(float32(math.NaN()), 0.00001)) {
+		t.Fatalf("NaN output must violate")
+	}
+	if req.Check(g, fbits(100)) {
+		t.Fatalf("length mismatch must violate")
+	}
+}
+
+func TestMRIReq(t *testing.T) {
+	req := MRIReq("mri", 1e-2, 0.002)
+	// max|GR| = 1000, so the global floor is 10: small elements tolerate
+	// up to 10 absolute deviation.
+	g := fbits(1000, 1)
+	if !req.Check(g, fbits(1000, 9)) {
+		t.Fatalf("deviation below the global floor must pass")
+	}
+	if req.Check(g, fbits(1000, 12)) {
+		t.Fatalf("deviation above the global floor must violate")
+	}
+	if !req.Check(g, fbits(1004, 1)) {
+		t.Fatalf("deviation within the global floor passes even on the large element")
+	}
+	if req.Check(g, fbits(1012, 1)) {
+		t.Fatalf("deviation above both bounds must violate")
+	}
+}
+
+func TestExactReq(t *testing.T) {
+	req := ExactReq()
+	if !req.Check(ibits(1, 2, 3), ibits(1, 2, 3)) {
+		t.Fatalf("identical outputs must pass")
+	}
+	if req.Check(ibits(1, 2, 3), ibits(1, 2, 4)) {
+		t.Fatalf("any difference must violate")
+	}
+}
+
+func TestIntTolReq(t *testing.T) {
+	req := IntTolReq("1%", 1, 0.01)
+	if !req.Check(ibits(1000), ibits(1005)) {
+		t.Fatalf("0.5%% integer deviation must pass")
+	}
+	if req.Check(ibits(1000), ibits(1020)) {
+		t.Fatalf("2%% integer deviation must violate")
+	}
+	if !req.Check(ibits(10), ibits(11)) {
+		t.Fatalf("deviation of 1 is within the absolute tolerance")
+	}
+	if req.Check(ibits(10), ibits(13)) {
+		t.Fatalf("deviation of 3 on a small value must violate")
+	}
+}
+
+func TestFrameReq(t *testing.T) {
+	req := FrameReq(3, 0.05)
+	g := make([]float32, 10)
+	for i := range g {
+		g[i] = 0.5
+	}
+	two := append([]float32(nil), g...)
+	two[0], two[1] = 0.9, 0.9
+	if !req.Check(fbits(g...), fbits(two...)) {
+		t.Fatalf("2 corrupt pixels below the 3-pixel threshold must be unnoticeable")
+	}
+	four := append([]float32(nil), g...)
+	four[0], four[1], four[2], four[3] = 0.9, 0.9, 0.9, 0.9
+	if req.Check(fbits(g...), fbits(four...)) {
+		t.Fatalf("4 corrupt pixels must be noticeable")
+	}
+}
+
+func TestDatasetsVaryOutputs(t *testing.T) {
+	for _, spec := range HPC() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			_, _, out0 := runBaseline(t, spec, Dataset{Index: 0})
+			_, _, out1 := runBaseline(t, spec, Dataset{Index: 1})
+			same := true
+			for i := range out0 {
+				if out0[i] != out1[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("datasets 0 and 1 produce identical outputs — no input variation")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("CP") == nil || ByName("ocean-flow") == nil || ByName("cpu-ref") == nil {
+		t.Fatalf("registered programs must resolve")
+	}
+	if ByName("nope") != nil {
+		t.Fatalf("unknown program must return nil")
+	}
+}
+
+func TestSpecDeclarations(t *testing.T) {
+	for _, spec := range HPC() {
+		if spec.NumDatasets < 52 {
+			t.Errorf("%s: %d datasets, need 52 for the Figure 16 study", spec.Name, spec.NumDatasets)
+		}
+		if spec.Requirement.Check == nil || spec.Requirement.Name == "" {
+			t.Errorf("%s: missing requirement", spec.Name)
+		}
+	}
+	if workloadsClass := TPACF().SharedMemBytes; 2*workloadsClass <= 16*1024 {
+		t.Errorf("TPACF must use more than half the 16KiB shared memory (got %d)", workloadsClass)
+	}
+	if PNS().Class != ClassInt || SAD().Class != ClassInt {
+		t.Errorf("PNS and SAD are the integer programs")
+	}
+}

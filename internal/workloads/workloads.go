@@ -1,0 +1,251 @@
+// Package workloads reimplements the benchmark programs of the paper's
+// evaluation as kir kernels with synthetic datasets:
+//
+//   - the seven Parboil HPC programs (Section VIII): CP, MRI-FHD, MRI-Q,
+//     PNS, RPES, SAD, TPACF — six floating-point programs and one integer
+//     program family (PNS and SAD are integer kernels);
+//   - two 3D-graphics programs from a GPU SDK: ray-trace and ocean-flow
+//     (Section II, Figures 1 and 3);
+//   - a control-flow-heavy CPU reference program for Figure 1's CPU rows.
+//
+// Program structure follows the paper's description of each benchmark:
+// RPES spends ~75% of its time in non-loop code, CP's loop accumulates
+// into a self-accumulating FP variable, TPACF performs the
+// write-then-read-back retry loop whose address corruption hangs the
+// kernel (Section IX.B), SAD tolerates no output error, and the MRI
+// programs carry enough live state to be register-pressure sensitive.
+package workloads
+
+import (
+	"math"
+
+	"hauberk/internal/gpu"
+	"hauberk/internal/kir"
+)
+
+// Class categorizes a program for the sensitivity study.
+type Class uint8
+
+// Program classes.
+const (
+	ClassFP       Class = iota // HPC floating-point program
+	ClassInt                   // HPC integer program
+	ClassGraphics              // 3D graphics program
+	ClassCPU                   // CPU reference program
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassFP:
+		return "hpc-fp"
+	case ClassInt:
+		return "hpc-int"
+	case ClassGraphics:
+		return "graphics"
+	case ClassCPU:
+		return "cpu"
+	}
+	return "class(?)"
+}
+
+// Dataset selects one input instance; Index 0 is the canonical evaluation
+// input, higher indices are the training/test datasets of the false
+// positive study (Figure 16 uses 52 per program).
+type Dataset struct {
+	Index int
+}
+
+// Instance is a program instantiated on a device: allocated/filled buffers
+// and the launch geometry.
+type Instance struct {
+	Grid, Block int
+	Args        []gpu.Arg
+	// Output is the buffer whose contents define program correctness.
+	Output  *gpu.Buffer
+	OutElem kir.Type
+	// Device the instance was set up on.
+	Device *gpu.Device
+}
+
+// ReadOutput returns the raw output words.
+func (in *Instance) ReadOutput() []uint32 { return in.Device.ReadWords(in.Output) }
+
+// Requirement is a program's output-correctness requirement: it reports
+// whether the actual output satisfies the requirement against the golden
+// run (Section VIII's per-program formulas).
+type Requirement struct {
+	// Name is the formula as the paper states it.
+	Name  string
+	Check func(golden, actual []uint32) bool
+}
+
+// Spec describes one benchmark program.
+type Spec struct {
+	Name        string
+	Class       Class
+	Description string
+	// SharedMemBytes declares the kernel's shared-memory footprint; the
+	// R-Scatter baseline refuses programs using more than half of the
+	// 16 KiB per-SM shared memory (Section IX.A).
+	SharedMemBytes int
+	// NumDatasets is how many distinct datasets the generator supports.
+	NumDatasets int
+	Build       func() *kir.Kernel
+	Setup       func(d *gpu.Device, ds Dataset) *Instance
+	Requirement Requirement
+}
+
+// HPC returns the seven evaluation programs in the paper's figure order.
+func HPC() []*Spec {
+	return []*Spec{CP(), MRIFHD(), MRIQ(), PNS(), RPES(), SAD(), TPACF()}
+}
+
+// Graphics returns the two 3D-graphics programs.
+func Graphics() []*Spec {
+	return []*Spec{OceanFlow(), RayTrace()}
+}
+
+// ByName finds a program among all registered specs.
+func ByName(name string) *Spec {
+	for _, s := range append(append(HPC(), Graphics()...), CPURef()) {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// --- requirement constructors --------------------------------------------
+
+func f32s(words []uint32) []float32 {
+	out := make([]float32, len(words))
+	for i, w := range words {
+		out[i] = math.Float32frombits(w)
+	}
+	return out
+}
+
+// FPRelReq violates when |actual-golden| > max(absFloor, relFrac*|golden|)
+// for any element.
+func FPRelReq(name string, absFloor, relFrac float64) Requirement {
+	return Requirement{
+		Name: name,
+		Check: func(golden, actual []uint32) bool {
+			g, a := f32s(golden), f32s(actual)
+			if len(g) != len(a) {
+				return false
+			}
+			for i := range g {
+				tol := relFrac * math.Abs(float64(g[i]))
+				if tol < absFloor {
+					tol = absFloor
+				}
+				diff := math.Abs(float64(a[i]) - float64(g[i]))
+				if diff > tol || math.IsNaN(diff) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// MRIReq violates when |actual-golden| > max(globalFrac*max|golden|,
+// relFrac*|golden|) — the MRI-Q style requirement.
+func MRIReq(name string, globalFrac, relFrac float64) Requirement {
+	return Requirement{
+		Name: name,
+		Check: func(golden, actual []uint32) bool {
+			g, a := f32s(golden), f32s(actual)
+			if len(g) != len(a) {
+				return false
+			}
+			maxG := 0.0
+			for _, v := range g {
+				if av := math.Abs(float64(v)); av > maxG {
+					maxG = av
+				}
+			}
+			floor := globalFrac * maxG
+			for i := range g {
+				tol := relFrac * math.Abs(float64(g[i]))
+				if tol < floor {
+					tol = floor
+				}
+				diff := math.Abs(float64(a[i]) - float64(g[i]))
+				if diff > tol || math.IsNaN(diff) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// ExactReq violates on any difference (SAD: integer program that does not
+// allow value errors in the output).
+func ExactReq() Requirement {
+	return Requirement{
+		Name: "exact match",
+		Check: func(golden, actual []uint32) bool {
+			if len(golden) != len(actual) {
+				return false
+			}
+			for i := range golden {
+				if golden[i] != actual[i] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// IntTolReq violates when |actual-golden| > max(absTol, relFrac*|golden|)
+// on integer outputs.
+func IntTolReq(name string, absTol, relFrac float64) Requirement {
+	return Requirement{
+		Name: name,
+		Check: func(golden, actual []uint32) bool {
+			if len(golden) != len(actual) {
+				return false
+			}
+			for i := range golden {
+				g := float64(int32(golden[i]))
+				a := float64(int32(actual[i]))
+				tol := relFrac * math.Abs(g)
+				if tol < absTol {
+					tol = absTol
+				}
+				if math.Abs(a-g) > tol {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// FrameReq is the graphics requirement: corruption is an SDC only when it
+// is user-noticeable — at least minPixels pixels deviating by more than
+// frac of full scale (a single corrupted pixel in one frame goes unnoticed
+// at 30 fps; a 10,000-value stripe does not; Section II.A, Figure 3).
+func FrameReq(minPixels int, frac float64) Requirement {
+	return Requirement{
+		Name: "user-noticeable frame corruption",
+		Check: func(golden, actual []uint32) bool {
+			g, a := f32s(golden), f32s(actual)
+			if len(g) != len(a) {
+				return false
+			}
+			bad := 0
+			for i := range g {
+				diff := math.Abs(float64(a[i]) - float64(g[i]))
+				if diff > frac || math.IsNaN(diff) {
+					bad++
+				}
+			}
+			return bad < minPixels
+		},
+	}
+}
