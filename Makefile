@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench bench-obs
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: formatting, vet, and the full test suite
+# under the race detector.
+check: fmt vet race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The harness suite runs full injection campaigns; under the race
+# detector it needs well past the default 10-minute package timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# bench-obs records the telemetry overhead comparison (nop vs enabled
+# hook path) to BENCH_obs.json.
+bench-obs:
+	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run TestWriteObsBenchJSON -v .

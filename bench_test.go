@@ -10,12 +10,16 @@
 package hauberk_test
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
+	"hauberk/internal/core/hrt"
 	"hauberk/internal/core/translate"
 	"hauberk/internal/gpu"
 	"hauberk/internal/harness"
 	"hauberk/internal/kir"
+	"hauberk/internal/obs"
 	"hauberk/internal/workloads"
 )
 
@@ -418,6 +422,107 @@ func BenchmarkTranslator(b *testing.B) {
 			}
 		}
 	}
+}
+
+// obsHookLaunch builds one fully instrumented CP launch (FT hooks driving
+// the control block) and returns a closure launching it with the given
+// telemetry — the measured unit of the observability overhead comparison.
+func obsHookLaunch(tb testing.TB, tel *obs.Telemetry) func() {
+	e := quickEnv()
+	spec := workloads.CP()
+	prof, err := e.Profile(spec, []workloads.Dataset{{Index: 0}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := translate.Instrument(spec.Build(), translate.NewOptions(translate.ModeFT))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	d := gpu.New(gpu.DefaultConfig())
+	inst := spec.Setup(d, workloads.Dataset{Index: 0})
+	return func() {
+		cb := hrt.NewControlBlock(tr.Detectors, prof.Store)
+		rt := hrt.NewFT(cb)
+		rt.Obs = tel
+		_, err := d.Launch(tr.Kernel, gpu.LaunchSpec{
+			Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt, Obs: tel,
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsHookPath compares the instrumented launch path with
+// telemetry off (nop: the production default) and on (enabled registry,
+// events discarded). Run with -benchmem: the nop variant must match the
+// allocation profile of a launch with no telemetry wired at all (see
+// TestNopTelemetryLaunchAllocationFree in internal/gpu).
+func BenchmarkObsHookPath(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		tel  *obs.Telemetry
+	}{
+		{"nop", obs.Nop()},
+		{"enabled", obs.New(nil)},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			launch := obsHookLaunch(b, cfg.tel)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				launch()
+			}
+		})
+	}
+}
+
+// TestWriteObsBenchJSON measures the instrumented-vs-nop hook path and
+// writes the comparison to the file named by BENCH_OBS_JSON (skipped when
+// the variable is unset):
+//
+//	BENCH_OBS_JSON=BENCH_obs.json go test -run TestWriteObsBenchJSON .
+func TestWriteObsBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_OBS_JSON")
+	if path == "" {
+		t.Skip("set BENCH_OBS_JSON=<path> to measure and record the telemetry overhead")
+	}
+	measure := func(tel *obs.Telemetry) testing.BenchmarkResult {
+		launch := obsHookLaunch(t, tel)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				launch()
+			}
+		})
+	}
+	nop := measure(obs.Nop())
+	enabled := measure(obs.New(nil))
+	report := struct {
+		Benchmark       string  `json:"benchmark"`
+		NopNsPerOp      int64   `json:"nop_ns_per_op"`
+		EnabledNsPerOp  int64   `json:"enabled_ns_per_op"`
+		NopAllocsPerOp  int64   `json:"nop_allocs_per_op"`
+		EnabledAllocsOp int64   `json:"enabled_allocs_per_op"`
+		OverheadPercent float64 `json:"overhead_percent"`
+	}{
+		Benchmark:       "instrumented CP launch, nop vs enabled telemetry",
+		NopNsPerOp:      nop.NsPerOp(),
+		EnabledNsPerOp:  enabled.NsPerOp(),
+		NopAllocsPerOp:  nop.AllocsPerOp(),
+		EnabledAllocsOp: enabled.AllocsPerOp(),
+		OverheadPercent: (float64(enabled.NsPerOp())/float64(nop.NsPerOp()) - 1) * 100,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: nop %d ns/op, enabled %d ns/op (%.1f%% overhead)",
+		path, report.NopNsPerOp, report.EnabledNsPerOp, report.OverheadPercent)
 }
 
 // BenchmarkRecoveryCampaign drives injections through the full Figure 11

@@ -1,12 +1,14 @@
 // Command hauberk-report regenerates the paper's evaluation tables and
 // figures. Each figure of the paper maps to one table here; see DESIGN.md
-// for the per-experiment index.
+// for the per-experiment index. It also renders telemetry event journals
+// (written by `hauberk-run -trace`) as human-readable timelines.
 //
 // Usage:
 //
 //	hauberk-report -fig all -scale quick
 //	hauberk-report -fig 13 -scale full
 //	hauberk-report -fig all -scale full -md > EXPERIMENTS-data.md
+//	hauberk-report -trace /tmp/t.jsonl
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"hauberk/internal/harness"
+	"hauberk/internal/obs"
 )
 
 func main() {
@@ -22,8 +25,19 @@ func main() {
 		fig   = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,10,13,14,15,16,alpha,instr,all")
 		scale = flag.String("scale", "quick", "experiment scale: quick or full")
 		md    = flag.Bool("md", false, "emit markdown instead of text tables")
+		trace = flag.String("trace", "", "render this JSONL event journal as a detect/diagnose/recover timeline instead of regenerating figures")
 	)
 	flag.Parse()
+
+	if *trace != "" {
+		events, err := obs.LoadJournal(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		obs.WriteTimeline(os.Stdout, events)
+		return
+	}
 
 	var sc harness.Scale
 	switch *scale {

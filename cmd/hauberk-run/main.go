@@ -8,6 +8,17 @@
 //	hauberk-run -program CP -variant hauberk
 //	hauberk-run -program MRI-Q -variant hauberk -inject 12:100:0x00400000
 //	hauberk-run -program TPACF -variant hauberk -inject 3:40:0x80000 -persistent
+//	hauberk-run -program CP -inject 3:40:0x80000 -trace t.jsonl -metrics m.prom
+//
+// With -trace the run writes a JSONL event journal (kernel launches,
+// detector alarms, every guardian state transition); render it with
+// `hauberk-report -trace t.jsonl`. With -metrics a Prometheus-text
+// exposition is dumped at exit.
+//
+// The exit code encodes the guardian's final diagnosis so scripts can
+// branch on the outcome: 0 for an accepted output (clean, recovered
+// transient, learned false alarm), 3 device-fault, 4 software-error,
+// 5 gave-up; 1 is an internal error and 2 a usage error.
 package main
 
 import (
@@ -19,28 +30,36 @@ import (
 	"hauberk/internal/gpu"
 	"hauberk/internal/guardian"
 	"hauberk/internal/harness"
+	"hauberk/internal/kir"
+	"hauberk/internal/obs"
 	"hauberk/internal/swifi"
 	"hauberk/internal/workloads"
 	"os"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run does the work and returns the process exit code; deferred cleanup
+// (journal flush, metrics dump, range save) runs before main exits.
+func run() int {
 	var (
-		program    = flag.String("program", "CP", "benchmark program name")
-		variant    = flag.String("variant", "hauberk", "baseline, hauberk, hauberk-nl, hauberk-l")
-		dataset    = flag.Int("dataset", 0, "dataset index")
-		injectSpec = flag.String("inject", "", "fault to inject: site:instance:mask (mask hex ok)")
-		persistent = flag.Bool("persistent", false, "make the injected fault persistent (emulates a permanent fault)")
-		devices    = flag.Int("devices", 2, "GPU devices in the recovery pool")
-		loadRanges = flag.String("load-ranges", "", "load profiled value ranges from this JSON file instead of profiling")
-		saveRanges = flag.String("save-ranges", "", "write the (possibly on-line-updated) value ranges to this JSON file at exit")
+		program     = flag.String("program", "CP", "benchmark program name")
+		variant     = flag.String("variant", "hauberk", "baseline, hauberk, hauberk-nl, hauberk-l")
+		dataset     = flag.Int("dataset", 0, "dataset index")
+		injectSpec  = flag.String("inject", "", "fault to inject: site:instance:mask (mask hex ok)")
+		persistent  = flag.Bool("persistent", false, "make the injected fault persistent (emulates a permanent fault)")
+		devices     = flag.Int("devices", 2, "GPU devices in the recovery pool")
+		loadRanges  = flag.String("load-ranges", "", "load profiled value ranges from this JSON file instead of profiling")
+		saveRanges  = flag.String("save-ranges", "", "write the (possibly on-line-updated) value ranges to this JSON file at exit")
+		tracePath   = flag.String("trace", "", "write a JSONL telemetry event journal to this file")
+		metricsPath = flag.String("metrics", "", "dump Prometheus-text metrics to this file at exit")
 	)
 	flag.Parse()
 
 	spec := workloads.ByName(*program)
 	if spec == nil {
 		fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
-		os.Exit(2)
+		return 2
 	}
 
 	opts := translate.NewOptions(translate.ModeFIFT)
@@ -54,31 +73,71 @@ func main() {
 		opts.NonLoop, opts.Loop = false, false
 	default:
 		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
-		os.Exit(2)
+		return 2
 	}
 
-	env := harness.NewEnv(harness.QuickScale())
+	// Telemetry: a journal sink when -trace is given; -metrics alone
+	// still enables collection (events are discarded, counters kept).
+	tel := obs.Nop()
+	if *tracePath != "" || *metricsPath != "" {
+		var sink obs.Sink
+		if *tracePath != "" {
+			journal, err := obs.OpenJournal(*tracePath)
+			if err != nil {
+				return fail(err)
+			}
+			sink = journal
+		}
+		tel = obs.New(sink)
+		defer func() {
+			if err := tel.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			} else if *tracePath != "" {
+				fmt.Printf("wrote event journal to %s\n", *tracePath)
+			}
+		}()
+		if *metricsPath != "" {
+			defer func() {
+				if err := tel.Metrics().DumpProm(*metricsPath); err != nil {
+					fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				} else {
+					fmt.Printf("wrote metrics to %s\n", *metricsPath)
+				}
+			}()
+		}
+	}
+
+	env := harness.NewEnv(harness.QuickScale()).WithObs(tel)
 	ds := workloads.Dataset{Index: *dataset}
 
 	// The FT library loads profiled value ranges from a file at the entry
 	// of main() and stores updates at exit (Section V.B step iv). Without
 	// a file, profile the chosen dataset in-process.
 	prof, err := env.Profile(spec, []workloads.Dataset{ds})
-	check(err)
+	if err != nil {
+		return fail(err)
+	}
 	store := prof.Store
 	if *loadRanges != "" {
 		store, err = ranges.Load(*loadRanges)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 		fmt.Printf("loaded %d detectors from %s\n", len(store.Names()), *loadRanges)
 	}
 	if *saveRanges != "" {
 		defer func() {
-			check(store.Save(*saveRanges))
+			if err := store.Save(*saveRanges); err != nil {
+				fmt.Fprintf(os.Stderr, "save-ranges: %v\n", err)
+				return
+			}
 			fmt.Printf("saved value ranges to %s\n", *saveRanges)
 		}()
 	}
 	tr, err := translate.Instrument(spec.Build(), opts)
-	check(err)
+	if err != nil {
+		return fail(err)
+	}
 
 	// A transient fault is armed once and does not re-fire on the
 	// guardian's re-executions; a persistent fault re-arms every run
@@ -87,7 +146,9 @@ func main() {
 	var cmd swifi.Command
 	if *injectSpec != "" {
 		cmd, err = swifi.ParseCommand(*injectSpec)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 		cmd.Persistent = *persistent
 		injector = &swifi.Injector{}
 		injector.Arm(cmd)
@@ -107,6 +168,7 @@ func main() {
 		return bistPasses(d)
 	}
 	pool := guardian.NewDevicePool(devPool, selfTest, 4)
+	pool.Obs = tel
 
 	runIdx := int64(0)
 	run := func(dev *gpu.Device) *guardian.RunOutcome {
@@ -114,6 +176,7 @@ func main() {
 		inst := spec.Setup(dev, ds)
 		cb := hrt.NewControlBlock(tr.Detectors, store)
 		rt := hrt.NewFT(cb)
+		rt.Obs = tel
 		if injector != nil {
 			if *persistent && dev == faulty {
 				// The defect re-fires on every run of the faulty device;
@@ -129,7 +192,7 @@ func main() {
 		}
 		runIdx++
 		res, lerr := dev.Launch(tr.Kernel, gpu.LaunchSpec{
-			Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt,
+			Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt, Obs: tel,
 		})
 		out := &guardian.RunOutcome{Err: lerr, Cycles: res.Cycles}
 		if lerr == nil {
@@ -146,8 +209,33 @@ func main() {
 		return out
 	}
 
-	rep, err := guardian.Supervise(guardian.Config{Pool: pool}, run)
-	check(err)
+	// Diagnosed false alarms widen the deployed ranges on-line
+	// (Section VI(iii)); with -save-ranges the widened store persists.
+	cfg := guardian.Config{
+		Pool: pool,
+		Obs:  tel,
+		OnFalseAlarm: func(alarms []hrt.Alarm) {
+			for _, a := range alarms {
+				if a.Kind != kir.DetectRange || a.Detector >= len(tr.Detectors) {
+					continue
+				}
+				if det := store.Get(tr.Detectors[a.Detector].Name); det != nil {
+					det.Absorb(a.Value)
+					if tel.Enabled() {
+						tel.Emit(obs.EvRangeWiden,
+							obs.Int("detector", int64(a.Detector)),
+							obs.Str("name", tr.Detectors[a.Detector].Name),
+							obs.Float("value", a.Value))
+						tel.Metrics().Counter("hauberk_ranges_widened_total").Inc()
+					}
+				}
+			}
+		},
+	}
+	rep, err := guardian.Supervise(cfg, run)
+	if err != nil {
+		return fail(err)
+	}
 
 	fmt.Printf("\nguardian diagnosis: %s after %d execution(s)\n", rep.Diagnosis, rep.Executions)
 	if len(rep.DisabledDevices) > 0 {
@@ -155,13 +243,16 @@ func main() {
 	}
 	if rep.Final != nil && rep.Final.Err == nil {
 		golden, err := env.Golden(spec, ds)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 		ok := spec.Requirement.Check(golden.Output, rep.Final.Output)
 		fmt.Printf("final output meets requirement %q: %v\n", spec.Requirement.Name, ok)
 		for _, a := range rep.Final.Alarms {
 			fmt.Printf("  alarm: %s\n", a)
 		}
 	}
+	return rep.Diagnosis.ExitCode()
 }
 
 func makeDevices(n int) []*gpu.Device {
@@ -180,9 +271,7 @@ func bistPasses(d *gpu.Device) bool {
 	return err == nil
 }
 
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, err)
+	return 1
 }

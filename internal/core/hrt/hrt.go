@@ -13,6 +13,7 @@ import (
 	"hauberk/internal/core/ranges"
 	"hauberk/internal/gpu"
 	"hauberk/internal/kir"
+	"hauberk/internal/obs"
 )
 
 // DetectorMeta describes one loop error detector that the translator
@@ -120,6 +121,12 @@ type Runtime struct {
 	// Inject, when non-nil, receives Probe callbacks (FI and FI&FT
 	// binaries).
 	Inject ProbeFunc
+
+	// Obs, when enabled, journals one detector.alarm event per recorded
+	// alarm (detector ID, name, kind, offending value) and counts alarms
+	// by kind in the metrics registry. The checks themselves stay silent
+	// until a violation, so the instrumented hot path is unaffected.
+	Obs *obs.Telemetry
 }
 
 var _ gpu.Hooks = (*Runtime)(nil)
@@ -167,6 +174,7 @@ func (r *Runtime) RangeCheck(_ gpu.ThreadCtx, det int, val float64) {
 		return
 	}
 	r.CB.Record(Alarm{Detector: det, Kind: kir.DetectRange, Value: val})
+	r.observeAlarm(det, kir.DetectRange, obs.Float("value", val))
 }
 
 // EqualCheck implements HauberkCheckEqual for the loop-iteration-count
@@ -178,6 +186,8 @@ func (r *Runtime) EqualCheck(_ gpu.ThreadCtx, det int, count, expected int32) {
 	if r.CB != nil {
 		r.CB.Record(Alarm{Detector: det, Kind: kir.DetectIter, Count: count, Expected: expected})
 	}
+	r.observeAlarm(det, kir.DetectIter,
+		obs.Int("count", int64(count)), obs.Int("expected", int64(expected)))
 }
 
 // ProfileSample feeds one averaged accumulator value to the detector's
@@ -194,6 +204,29 @@ func (r *Runtime) SetSDC(_ gpu.ThreadCtx, det int, kind kir.DetectKind) {
 	if r.CB != nil {
 		r.CB.Record(Alarm{Detector: det, Kind: kind})
 	}
+	r.observeAlarm(det, kind)
+}
+
+// observeAlarm journals one detector.alarm event and bumps the per-kind
+// alarm counter. Alarms are rare (they trigger a guardian diagnosis), so
+// this path may allocate freely.
+func (r *Runtime) observeAlarm(det int, kind kir.DetectKind, extra ...obs.Field) {
+	if !r.Obs.Enabled() {
+		return
+	}
+	name := ""
+	if r.CB != nil && det < len(r.CB.Meta) {
+		name = r.CB.Meta[det].Name
+	}
+	fields := append([]obs.Field{
+		obs.Int("detector", int64(det)),
+		obs.Str("name", name),
+		obs.Str("kind", kind.String()),
+	}, extra...)
+	r.Obs.Emit(obs.EvAlarm, fields...)
+	m := r.Obs.Metrics()
+	m.Help("hauberk_alarms_total", "detector alarms recorded, by detector kind")
+	m.Counter("hauberk_alarms_total", "kind", kind.String()).Inc()
 }
 
 // FinishProfiling derives detectors from the learners and stores them.

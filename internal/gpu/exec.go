@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hauberk/internal/kir"
+	"hauberk/internal/obs"
 )
 
 // Arg is one kernel launch argument.
@@ -31,6 +32,12 @@ type LaunchSpec struct {
 	Block int // threads per block
 	Args  []Arg
 	Hooks Hooks // nil for uninstrumented kernels
+	// Obs, when enabled, journals a kernel.launch event at entry and a
+	// kernel.retire span (status, cycle split, memory traffic) at exit,
+	// and feeds the launch counters/cycle histogram of the metrics
+	// registry. nil or a disabled telemetry adds nothing to the hot
+	// path.
+	Obs *obs.Telemetry
 }
 
 // Result reports the outcome of a launch.
@@ -51,10 +58,58 @@ type Result struct {
 	Loads, Stores int64
 }
 
+// kernelCycleBuckets spreads modelled kernel times over the decades the
+// workloads actually span (QuickScale kernels run 1e3..1e8 cycles).
+var kernelCycleBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
 // Launch runs the kernel on the device. The returned Result carries the
 // cycle accounting accumulated up to the point of failure; err is nil, a
 // *CrashError, a *HangError, or a *LaunchError.
+//
+// With an enabled spec.Obs the launch is bracketed by kernel.launch /
+// kernel.retire events and counted in the metrics registry; the
+// telemetry-off path is allocation-free (see BenchmarkNopTelemetryLaunch).
 func (d *Device) Launch(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
+	if !spec.Obs.Enabled() {
+		return d.launch(k, spec)
+	}
+	tel := spec.Obs
+	tel.Emit(obs.EvKernelLaunch,
+		obs.Str("kernel", k.Name),
+		obs.Int("grid", int64(spec.Grid)),
+		obs.Int("block", int64(spec.Block)),
+		obs.Int("threads", int64(spec.Grid*spec.Block)))
+	sp := tel.Span(obs.EvKernelRetire)
+	res, err := d.launch(k, spec)
+	status := launchStatus(err)
+	sp.End(
+		obs.Str("kernel", k.Name),
+		obs.Str("status", status),
+		obs.Float("cycles", res.Cycles),
+		obs.Float("loop_cycles", res.LoopCycles),
+		obs.Int("loads", res.Loads),
+		obs.Int("stores", res.Stores))
+	m := tel.Metrics()
+	m.Counter("hauberk_kernel_launches_total", "kernel", k.Name, "status", status).Inc()
+	m.Histogram("hauberk_kernel_cycles", kernelCycleBuckets, "kernel", k.Name).Observe(res.Cycles)
+	return res, err
+}
+
+// launchStatus classifies a launch error for events and metric labels.
+func launchStatus(err error) string {
+	switch err.(type) {
+	case nil:
+		return "ok"
+	case *CrashError:
+		return "crash"
+	case *HangError:
+		return "hang"
+	default:
+		return "launch-error"
+	}
+}
+
+func (d *Device) launch(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
 	if d.Disabled {
 		return &Result{}, &LaunchError{Reason: "device disabled"}
 	}

@@ -1,6 +1,9 @@
 package guardian
 
-import "hauberk/internal/core/ranges"
+import (
+	"hauberk/internal/core/ranges"
+	"hauberk/internal/obs"
+)
 
 // AlphaController implements the loop-error-detector recalibration of
 // Section VI(iii): the recovery engine tracks the false positive ratio of
@@ -18,6 +21,9 @@ type AlphaController struct {
 	// Window is how many diagnosed alarms are accumulated before a
 	// decision is made.
 	Window int
+	// Obs, when enabled, journals a guardian.alpha event on every
+	// recalibration and mirrors alpha into the hauberk_alpha gauge.
+	Obs *obs.Telemetry
 
 	alpha      float64
 	falsePos   int
@@ -50,19 +56,31 @@ func (c *AlphaController) ObserveDiagnosis(falseAlarm bool, store *ranges.Store)
 		return
 	}
 	ratio := float64(c.falsePos) / float64(c.decided)
+	direction := "hold"
 	switch {
 	case ratio > c.Upper:
 		c.alpha *= c.Step
 		c.adjustUp++
+		direction = "up"
 	case ratio < c.Lower && c.alpha > 1:
 		c.alpha /= c.Step
 		if c.alpha < 1 {
 			c.alpha = 1
 		}
 		c.adjustDown++
+		direction = "down"
 	}
 	c.decided, c.falsePos = 0, 0
 	if store != nil {
 		store.SetAlpha(c.alpha)
+	}
+	if c.Obs.Enabled() && direction != "hold" {
+		c.Obs.Emit(obs.EvAlpha,
+			obs.Float("alpha", c.alpha),
+			obs.Str("direction", direction),
+			obs.Float("fp_ratio", ratio))
+		m := c.Obs.Metrics()
+		m.Help("hauberk_alpha", "current loop-detector range multiplication factor")
+		m.Gauge("hauberk_alpha").Set(c.alpha)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"hauberk/internal/core/hrt"
 	"hauberk/internal/gpu"
+	"hauberk/internal/obs"
 )
 
 // RunOutcome is the result of running the supervised program once.
@@ -82,6 +83,25 @@ func (d Diagnosis) String() string {
 	return "diagnosis(?)"
 }
 
+// ExitCode maps a diagnosis to the hauberk-run process exit code, so
+// scripts supervising many runs can branch on the outcome. Diagnoses
+// where the program completed with an accepted output (clean, recovered
+// transient, learned false alarm) exit 0; the rest get distinct non-zero
+// codes.
+func (d Diagnosis) ExitCode() int {
+	switch d {
+	case DiagClean, DiagFalseAlarm, DiagTransient:
+		return 0
+	case DiagDeviceFault:
+		return 3
+	case DiagSoftwareError:
+		return 4
+	case DiagGaveUp:
+		return 5
+	}
+	return 1
+}
+
 // Config tunes the guardian.
 type Config struct {
 	// Pool supplies devices; required.
@@ -103,6 +123,10 @@ type Config struct {
 	// budget; the Watchdog type implements the guardian's timing policy
 	// for callers that track kernel execution times themselves.
 	OnFalseAlarm func(alarms []hrt.Alarm)
+	// Obs, when enabled, journals one event per Figure 11 state
+	// transition: each supervised execution, BIST self-tests, device
+	// disables, and the final diagnosis. May be nil.
+	Obs *obs.Telemetry
 }
 
 // Report is the guardian's summary of one supervised execution.
@@ -121,6 +145,11 @@ type Report struct {
 
 // Supervise runs the Figure 11 diagnosis-and-tolerance algorithm to
 // completion.
+//
+// With an enabled cfg.Obs every state transition of the automaton is
+// journaled: a guardian.execution event per supervised run, guardian.bist
+// per self-test, guardian.device_disable per migration, and a final
+// guardian.diagnosis event.
 func Supervise(cfg Config, run RunFn) (*Report, error) {
 	if cfg.Pool == nil {
 		return nil, errors.New("guardian: config needs a device pool")
@@ -134,16 +163,34 @@ func Supervise(cfg Config, run RunFn) (*Report, error) {
 	}
 
 	rep := &Report{}
+	defer func() { cfg.emitDiagnosis(rep) }()
 	devIdx, dev := cfg.Pool.Acquire()
 	if dev == nil {
 		rep.Diagnosis = DiagGaveUp
 		return rep, nil
 	}
 
+	// disable takes the current device out of service (journaling the
+	// transition) and migrates to the next healthy one; it reports
+	// whether any device was left.
+	disable := func() bool {
+		rep.DisabledDevices = append(rep.DisabledDevices, devIdx)
+		cfg.Pool.Disable(devIdx)
+		cfg.emitDisable(devIdx, cfg.Pool.Backoff(devIdx))
+		devIdx, dev = cfg.Pool.Acquire()
+		return dev != nil
+	}
+	selfTest := func() bool {
+		pass := cfg.Pool.SelfTest(devIdx)
+		cfg.emitBIST(devIdx, pass)
+		return pass
+	}
+
 	failures := 0
 	for {
 		first := run(dev)
 		rep.Executions++
+		cfg.emitRun(rep.Executions, devIdx, first)
 
 		switch {
 		case first.Failed():
@@ -154,7 +201,7 @@ func Supervise(cfg Config, run RunFn) (*Report, error) {
 			if failures < cfg.MaxRestarts {
 				continue
 			}
-			if cfg.Pool.SelfTest(devIdx) {
+			if selfTest() {
 				// Device healthy but the program keeps failing on the
 				// same input: with a transient cause it would have gone
 				// away; report unsupported software behaviour.
@@ -162,10 +209,7 @@ func Supervise(cfg Config, run RunFn) (*Report, error) {
 				rep.Final = first
 				return rep, nil
 			}
-			rep.DisabledDevices = append(rep.DisabledDevices, devIdx)
-			cfg.Pool.Disable(devIdx)
-			devIdx, dev = cfg.Pool.Acquire()
-			if dev == nil {
+			if !disable() {
 				rep.Diagnosis = DiagGaveUp
 				return rep, nil
 			}
@@ -190,15 +234,13 @@ func Supervise(cfg Config, run RunFn) (*Report, error) {
 		// (Section VI(ii)).
 		second := run(dev)
 		rep.Executions++
+		cfg.emitRun(rep.Executions, devIdx, second)
 		switch {
 		case second.Failed():
 			// The reexecution itself failed; treat like a repeated
 			// failure on this device.
-			if !cfg.Pool.SelfTest(devIdx) {
-				rep.DisabledDevices = append(rep.DisabledDevices, devIdx)
-				cfg.Pool.Disable(devIdx)
-				devIdx, dev = cfg.Pool.Acquire()
-				if dev == nil {
+			if !selfTest() {
+				if !disable() {
 					rep.Diagnosis = DiagGaveUp
 					return rep, nil
 				}
@@ -229,21 +271,79 @@ func Supervise(cfg Config, run RunFn) (*Report, error) {
 		default:
 			// (c) Alarms with differing outputs: long intermittent or
 			// permanent fault suspected; run the BIST-style self test.
-			if cfg.Pool.SelfTest(devIdx) {
+			if selfTest() {
 				rep.Diagnosis = DiagSoftwareError
 				rep.Final = second
 				return rep, nil
 			}
-			rep.DisabledDevices = append(rep.DisabledDevices, devIdx)
-			cfg.Pool.Disable(devIdx)
-			devIdx, dev = cfg.Pool.Acquire()
-			if dev == nil {
+			if !disable() {
 				rep.Diagnosis = DiagGaveUp
 				return rep, nil
 			}
 			// Migrated: re-run from the top on the new device.
 		}
 	}
+}
+
+// --- telemetry ------------------------------------------------------------
+
+func (cfg *Config) emitRun(attempt, devIdx int, o *RunOutcome) {
+	if !cfg.Obs.Enabled() {
+		return
+	}
+	status := "ok"
+	switch o.Err.(type) {
+	case nil:
+	case *gpu.CrashError:
+		status = "crash"
+	case *gpu.HangError:
+		status = "hang"
+	default:
+		status = "launch-error"
+	}
+	cfg.Obs.Emit(obs.EvGuardianRun,
+		obs.Int("attempt", int64(attempt)),
+		obs.Int("device", int64(devIdx)),
+		obs.Str("status", status),
+		obs.Bool("sdc", o.SDC),
+		obs.Int("alarms", int64(len(o.Alarms))),
+		obs.Float("cycles", o.Cycles))
+	cfg.Obs.Metrics().Counter("hauberk_guardian_executions_total").Inc()
+}
+
+func (cfg *Config) emitBIST(devIdx int, pass bool) {
+	if !cfg.Obs.Enabled() {
+		return
+	}
+	cfg.Obs.Emit(obs.EvBIST, obs.Int("device", int64(devIdx)), obs.Bool("pass", pass))
+	result := "pass"
+	if !pass {
+		result = "fail"
+	}
+	cfg.Obs.Metrics().Counter("hauberk_guardian_bist_total", "result", result).Inc()
+}
+
+func (cfg *Config) emitDisable(devIdx int, backoff int64) {
+	if !cfg.Obs.Enabled() {
+		return
+	}
+	cfg.Obs.Emit(obs.EvDeviceDisable,
+		obs.Int("device", int64(devIdx)), obs.Int("backoff", backoff))
+	cfg.Obs.Metrics().Counter("hauberk_guardian_device_disables_total").Inc()
+}
+
+func (cfg *Config) emitDiagnosis(rep *Report) {
+	if !cfg.Obs.Enabled() {
+		return
+	}
+	cfg.Obs.Emit(obs.EvDiagnosis,
+		obs.Str("diagnosis", rep.Diagnosis.String()),
+		obs.Int("executions", int64(rep.Executions)),
+		obs.Bool("false_alarm", rep.FalseAlarm),
+		obs.Int("disabled", int64(len(rep.DisabledDevices))))
+	m := cfg.Obs.Metrics()
+	m.Help("hauberk_guardian_diagnoses_total", "terminal Figure 11 diagnoses, by kind")
+	m.Counter("hauberk_guardian_diagnoses_total", "diagnosis", rep.Diagnosis.String()).Inc()
 }
 
 func wordsEqual(a, b []uint32) bool {

@@ -1,0 +1,191 @@
+package guardian
+
+import (
+	"reflect"
+	"testing"
+
+	"hauberk/internal/gpu"
+	"hauberk/internal/obs"
+)
+
+// TestEventSequenceFalseAlarm asserts the exact journal the guardian
+// writes for a false-positive diagnosis: two supervised executions, then
+// the terminal diagnosis — no BIST, no device transitions.
+func TestEventSequenceFalseAlarm(t *testing.T) {
+	pool, _ := testPool(1, nil)
+	sink := &obs.MemSink{}
+	tel := obs.New(sink)
+	cfg := Config{Pool: pool, Obs: tel}
+
+	rep, err := Supervise(cfg, scripted(alarmed(7, 7), alarmed(7, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diagnosis != DiagFalseAlarm {
+		t.Fatalf("got %s", rep.Diagnosis)
+	}
+
+	want := []string{obs.EvGuardianRun, obs.EvGuardianRun, obs.EvDiagnosis}
+	if got := sink.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("event sequence = %v, want %v", got, want)
+	}
+
+	events := sink.Events()
+	fields := eventFields(events[2])
+	if fields["diagnosis"] != "false-alarm" || fields["false_alarm"] != true {
+		t.Fatalf("diagnosis fields = %v", fields)
+	}
+	if fields["executions"] != int64(2) {
+		t.Fatalf("executions field = %v", fields["executions"])
+	}
+	run1 := eventFields(events[0])
+	if run1["attempt"] != int64(1) || run1["status"] != "ok" || run1["sdc"] != true {
+		t.Fatalf("first execution fields = %v", run1)
+	}
+
+	m := tel.Metrics()
+	if got := m.Counter("hauberk_guardian_executions_total").Value(); got != 2 {
+		t.Fatalf("executions counter = %d, want 2", got)
+	}
+	if got := m.Counter("hauberk_guardian_diagnoses_total", "diagnosis", "false-alarm").Value(); got != 1 {
+		t.Fatalf("diagnosis counter = %d, want 1", got)
+	}
+}
+
+// TestEventSequenceDeviceFault asserts the journal of the Figure 11
+// migration path: two alarmed executions with differing outputs, a failed
+// BIST, a device disable, a clean execution on the healthy device, and the
+// terminal device-fault diagnosis.
+func TestEventSequenceDeviceFault(t *testing.T) {
+	healthy := map[*gpu.Device]bool{}
+	pool, devs := testPool(2, func(d *gpu.Device) bool { return healthy[d] })
+	healthy[devs[1]] = true
+	sink := &obs.MemSink{}
+	tel := obs.New(sink)
+
+	calls := 0
+	run := func(dev *gpu.Device) *RunOutcome {
+		calls++
+		if dev == devs[0] {
+			return alarmed(uint32(calls)) // differing outputs every run
+		}
+		return ok(5)
+	}
+	rep, err := Supervise(Config{Pool: pool, Obs: tel}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diagnosis != DiagDeviceFault {
+		t.Fatalf("got %s", rep.Diagnosis)
+	}
+
+	want := []string{
+		obs.EvGuardianRun, // attempt 1 on device 0: alarmed
+		obs.EvGuardianRun, // attempt 2: alarmed, different output
+		obs.EvBIST,        // self-test fails
+		obs.EvDeviceDisable,
+		obs.EvGuardianRun, // attempt 3 on device 1: clean
+		obs.EvDiagnosis,
+	}
+	if got := sink.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("event sequence = %v, want %v", got, want)
+	}
+
+	events := sink.Events()
+	bist := eventFields(events[2])
+	if bist["device"] != int64(0) || bist["pass"] != false {
+		t.Fatalf("bist fields = %v", bist)
+	}
+	disable := eventFields(events[3])
+	if disable["device"] != int64(0) || disable["backoff"] != int64(2) {
+		t.Fatalf("disable fields = %v", disable)
+	}
+	run3 := eventFields(events[4])
+	if run3["device"] != int64(1) || run3["sdc"] != false {
+		t.Fatalf("migrated execution fields = %v", run3)
+	}
+	diag := eventFields(events[5])
+	if diag["diagnosis"] != "device-fault" || diag["disabled"] != int64(1) {
+		t.Fatalf("diagnosis fields = %v", diag)
+	}
+
+	m := tel.Metrics()
+	if got := m.Counter("hauberk_guardian_bist_total", "result", "fail").Value(); got != 1 {
+		t.Fatalf("bist counter = %d, want 1", got)
+	}
+	if got := m.Counter("hauberk_guardian_device_disables_total").Value(); got != 1 {
+		t.Fatalf("disable counter = %d, want 1", got)
+	}
+}
+
+// TestPoolTickEvents asserts the back-off daemon's journal: a failed
+// retest doubles Tbackoff (guardian.backoff), a passed one re-enables the
+// device (guardian.device_reenable).
+func TestPoolTickEvents(t *testing.T) {
+	attempts := 0
+	devices := []*gpu.Device{gpu.New(gpu.DefaultConfig())}
+	pool := NewDevicePool(devices, func(*gpu.Device) bool {
+		attempts++
+		return attempts > 1 // first retest fails, second passes
+	}, 2)
+	sink := &obs.MemSink{}
+	pool.Obs = obs.New(sink)
+
+	pool.Disable(0)
+	// Retest fires at tick 2 (fails, backoff -> 4) and tick 6 (passes).
+	for i := 0; i < 6; i++ {
+		pool.Tick()
+	}
+	if pool.Enabled() != 1 {
+		t.Fatalf("device not re-enabled after passing retest")
+	}
+	want := []string{obs.EvBackoff, obs.EvDeviceReenable}
+	if got := sink.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("event sequence = %v, want %v", got, want)
+	}
+	backoff := eventFields(sink.Events()[0])
+	if backoff["backoff"] != int64(4) {
+		t.Fatalf("backoff field = %v, want 4", backoff["backoff"])
+	}
+}
+
+// TestSuperviseWithoutTelemetry pins that a nil Obs changes nothing: the
+// emit helpers must all be nil-safe.
+func TestSuperviseWithoutTelemetry(t *testing.T) {
+	pool, _ := testPool(1, nil)
+	rep, err := Supervise(Config{Pool: pool}, scripted(ok(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diagnosis != DiagClean {
+		t.Fatalf("got %s", rep.Diagnosis)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		d    Diagnosis
+		want int
+	}{
+		{DiagClean, 0},
+		{DiagFalseAlarm, 0},
+		{DiagTransient, 0},
+		{DiagDeviceFault, 3},
+		{DiagSoftwareError, 4},
+		{DiagGaveUp, 5},
+		{Diagnosis(200), 1},
+	}
+	for _, tc := range cases {
+		if got := tc.d.ExitCode(); got != tc.want {
+			t.Fatalf("%s exit code = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func eventFields(e obs.Event) map[string]any {
+	out := make(map[string]any, len(e.Fields))
+	for _, f := range e.Fields {
+		out[f.Key] = f.Value()
+	}
+	return out
+}

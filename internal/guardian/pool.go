@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"hauberk/internal/gpu"
+	"hauberk/internal/obs"
 )
 
 // DevicePool manages the node's GPU devices for the recovery engine
@@ -24,6 +25,12 @@ type DevicePool struct {
 	// backoffInit is the initial Tbackoff in ticks.
 	backoffInit int64
 	now         int64
+
+	// Obs, when enabled, journals the back-off daemon's transitions:
+	// guardian.backoff on a failed retest (Tbackoff doubled) and
+	// guardian.device_reenable when a device returns to service. Set it
+	// before the pool is shared.
+	Obs *obs.Telemetry
 }
 
 type pooledDevice struct {
@@ -106,12 +113,21 @@ func (p *DevicePool) Tick() {
 			p.devices[i].disabled = false
 			p.devices[i].dev.Disabled = false
 			p.mu.Unlock()
+			if p.Obs.Enabled() {
+				p.Obs.Emit(obs.EvDeviceReenable, obs.Int("device", int64(i)))
+				p.Obs.Metrics().Counter("hauberk_guardian_device_reenables_total").Inc()
+			}
 		} else {
 			p.mu.Lock()
 			pd := p.devices[i]
 			pd.backoff *= 2
 			pd.retryAt = p.now + pd.backoff
+			backoff := pd.backoff
 			p.mu.Unlock()
+			if p.Obs.Enabled() {
+				p.Obs.Emit(obs.EvBackoff,
+					obs.Int("device", int64(i)), obs.Int("backoff", backoff))
+			}
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"hauberk/internal/core/translate"
 	"hauberk/internal/gpu"
 	"hauberk/internal/kir"
+	"hauberk/internal/obs"
 	"hauberk/internal/stats"
 	"hauberk/internal/swifi"
 	"hauberk/internal/workloads"
@@ -141,7 +142,11 @@ type CampaignResult struct {
 	Hangs int
 }
 
-// RunCampaign executes a full injection campaign for one program.
+// RunCampaign executes a full injection campaign for one program. With
+// an enabled e.Obs it journals campaign.start, a campaign.progress event
+// roughly every tenth of the plan, and a campaign.done event with the
+// aggregated coverage; per-outcome tallies feed the
+// hauberk_injection_outcomes_total counter family.
 func (e *Env) RunCampaign(
 	spec *workloads.Spec,
 	golden *GoldenRun,
@@ -159,9 +164,21 @@ func (e *Env) RunCampaign(
 	if workers <= 0 {
 		workers = 1
 	}
+	if e.Obs.Enabled() {
+		e.Obs.Emit(obs.EvCampaignStart,
+			obs.Str("program", spec.Name),
+			obs.Int("injections", int64(len(plan))),
+			obs.Int("mode", int64(mode)))
+	}
+	sp := e.Obs.Span(obs.EvCampaignDone)
+	progressEvery := len(plan) / 10
+	if progressEvery == 0 {
+		progressEvery = 1
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
+		done     int
 		firstErr error
 	)
 	sem := make(chan struct{}, workers)
@@ -181,6 +198,13 @@ func (e *Env) RunCampaign(
 				return
 			}
 			out.Results[i] = *r
+			done++
+			if e.Obs.Enabled() && done%progressEvery == 0 && done < len(plan) {
+				e.Obs.Emit(obs.EvCampaignProgress,
+					obs.Str("program", spec.Name),
+					obs.Int("done", int64(done)),
+					obs.Int("total", int64(len(plan))))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -205,6 +229,23 @@ func (e *Env) RunCampaign(
 			out.ByClass[r.Injection.Class] = tc
 		}
 		tc.Add(r.Outcome)
+	}
+	if e.Obs.Enabled() {
+		m := e.Obs.Metrics()
+		m.Help("hauberk_injection_outcomes_total",
+			"fault-injection outcomes (Section VIII five-way classification)")
+		for o := Outcome(0); o < NumOutcomes; o++ {
+			if n := out.All[o]; n > 0 {
+				m.Counter("hauberk_injection_outcomes_total",
+					"program", spec.Name, "outcome", o.String()).Add(int64(n))
+			}
+		}
+		sp.End(
+			obs.Str("program", spec.Name),
+			obs.Int("injections", int64(len(plan))),
+			obs.Int("failures", int64(out.All[OutcomeFailure])),
+			obs.Int("undetected", int64(out.All[OutcomeUndetected])),
+			obs.Float("coverage", out.All.Coverage()))
 	}
 	return out, nil
 }

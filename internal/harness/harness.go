@@ -13,6 +13,7 @@ import (
 
 	"hauberk/internal/core/translate"
 	"hauberk/internal/gpu"
+	"hauberk/internal/obs"
 	"hauberk/internal/workloads"
 )
 
@@ -85,13 +86,29 @@ type Env struct {
 	Scale  Scale
 	Config gpu.Config
 
+	// Obs receives campaign-progress events and outcome tallies from the
+	// experiment drivers. Defaults to the disabled telemetry; set it (or
+	// call WithObs) before launching experiments to collect a journal.
+	Obs *obs.Telemetry
+
 	mu    sync.Mutex
 	cache map[string]*translate.Result
 }
 
 // NewEnv builds an environment with the default simulated device.
 func NewEnv(scale Scale) *Env {
-	return &Env{Scale: scale, Config: gpu.DefaultConfig(), cache: make(map[string]*translate.Result)}
+	return &Env{
+		Scale:  scale,
+		Config: gpu.DefaultConfig(),
+		Obs:    obs.Nop(),
+		cache:  make(map[string]*translate.Result),
+	}
+}
+
+// WithObs attaches a telemetry and returns the env (builder style).
+func (e *Env) WithObs(t *obs.Telemetry) *Env {
+	e.Obs = t
+	return e
 }
 
 // Instrument returns the (cached) instrumentation of a program for the

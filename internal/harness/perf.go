@@ -20,6 +20,10 @@ type PerfRow struct {
 	Program   string
 	Baseline  float64 // absolute modelled cycles
 	Overheads map[Variant]float64
+	// HookCounts breaks the instrumented variants' overhead down by
+	// intrinsic-hook activity (how many times each FT-library callback
+	// fired during the measured launch), gathered with gpu.CountingHooks.
+	HookCounts map[Variant]gpu.HookCounts
 }
 
 // Overhead formats one entry.
@@ -34,7 +38,11 @@ func (r *PerfRow) Overhead(v Variant) string {
 // MeasurePerf measures all variants of one program on dataset ds
 // (Figure 13's methodology: GPU kernel time only, synchronous mode).
 func (e *Env) MeasurePerf(spec *workloads.Spec, ds workloads.Dataset, store *ranges.Store) (*PerfRow, error) {
-	row := &PerfRow{Program: spec.Name, Overheads: make(map[Variant]float64)}
+	row := &PerfRow{
+		Program:    spec.Name,
+		Overheads:  make(map[Variant]float64),
+		HookCounts: make(map[Variant]gpu.HookCounts),
+	}
 
 	base, err := e.launchPlain(spec.Build(), spec, ds)
 	if err != nil {
@@ -75,11 +83,12 @@ func (e *Env) MeasurePerf(spec *workloads.Spec, ds workloads.Dataset, store *ran
 		if err != nil {
 			return nil, err
 		}
-		cycles, err := e.launchFT(tr, spec, ds, store)
+		cycles, counts, err := e.launchFT(tr, spec, ds, store)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s %s: %w", spec.Name, v, err)
 		}
 		row.Overheads[v] = pct(cycles, base.Cycles)
+		row.HookCounts[v] = counts
 	}
 	return row, nil
 }
@@ -92,17 +101,22 @@ func (e *Env) launchPlain(k *kir.Kernel, spec *workloads.Spec, ds workloads.Data
 	return d.Launch(k, gpu.LaunchSpec{Grid: inst.Grid, Block: inst.Block, Args: inst.Args})
 }
 
-func (e *Env) launchFT(tr *translate.Result, spec *workloads.Spec, ds workloads.Dataset, store *ranges.Store) (float64, error) {
+// launchFT runs one instrumented launch with the hook-counting wrapper,
+// so the overhead figures can attribute cost to intrinsic activity. The
+// counts are published to e.Obs's metrics registry when telemetry is on.
+func (e *Env) launchFT(tr *translate.Result, spec *workloads.Spec, ds workloads.Dataset, store *ranges.Store) (float64, gpu.HookCounts, error) {
 	d := e.NewDevice()
 	inst := spec.Setup(d, ds)
 	cb := hrt.NewControlBlock(tr.Detectors, store)
+	counting := gpu.NewCountingHooks(hrt.NewFT(cb))
 	res, err := d.Launch(tr.Kernel, gpu.LaunchSpec{
-		Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: hrt.NewFT(cb),
+		Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: counting,
 	})
 	if err != nil {
-		return 0, err
+		return 0, gpu.HookCounts{}, err
 	}
-	return res.Cycles, nil
+	counting.Publish(e.Obs, tr.Kernel.Name)
+	return res.Cycles, counting.Counts(), nil
 }
 
 // launchRScatter allocates shadow copies of every pointer argument (the

@@ -7,6 +7,7 @@ import (
 	"hauberk/internal/gpu"
 	"hauberk/internal/guardian"
 	"hauberk/internal/kir"
+	"hauberk/internal/obs"
 	"hauberk/internal/swifi"
 	"hauberk/internal/workloads"
 )
@@ -43,6 +44,7 @@ func (e *Env) RunRecoveryCampaign(
 		return nil, err
 	}
 	stats := &RecoveryStats{AlphaController: guardian.NewAlphaController()}
+	stats.AlphaController.Obs = e.Obs
 	// One store shared across the campaign: on-line learning and alpha
 	// recalibration accumulate, as they would in production.
 	live := store.Clone()
@@ -74,6 +76,7 @@ func (e *Env) RunRecoveryCampaign(
 		}
 		cfg := guardian.Config{
 			Pool: pool,
+			Obs:  e.Obs,
 			OnFalseAlarm: func(alarms []hrt.Alarm) {
 				for _, a := range alarms {
 					if a.Kind != kir.DetectRange { // only range alarms carry a value to learn
@@ -83,6 +86,13 @@ func (e *Env) RunRecoveryCampaign(
 						if det := live.Get(tr.Detectors[a.Detector].Name); det != nil {
 							det.Absorb(a.Value)
 							stats.RangesWidened++
+							if e.Obs.Enabled() {
+								e.Obs.Emit(obs.EvRangeWiden,
+									obs.Int("detector", int64(a.Detector)),
+									obs.Str("name", tr.Detectors[a.Detector].Name),
+									obs.Float("value", a.Value))
+								e.Obs.Metrics().Counter("hauberk_ranges_widened_total").Inc()
+							}
 						}
 					}
 				}
