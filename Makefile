@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-obs
+.PHONY: all build test check fmt vet race bench bench-obs bench-perf
 
 all: build
 
@@ -35,3 +35,8 @@ bench:
 # hook path) to BENCH_obs.json.
 bench-obs:
 	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run TestWriteObsBenchJSON -v .
+
+# bench-perf records the execution-engine comparison (tree walker vs
+# bytecode) to BENCH_perf.json.
+bench-perf:
+	BENCH_PERF_JSON=BENCH_perf.json $(GO) test -run TestWritePerfBenchJSON -v .

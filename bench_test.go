@@ -11,6 +11,7 @@ package hauberk_test
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"testing"
 
@@ -25,21 +26,61 @@ import (
 
 func quickEnv() *harness.Env { return harness.NewEnv(harness.QuickScale()) }
 
-// BenchmarkBaselineKernels measures raw simulator throughput per program:
-// the substrate cost on which every other experiment stands.
+// benchEngines names the two execution engines compared by the baseline
+// throughput benchmarks: the bytecode engine (the default) and the
+// tree-walking interpreter it replaced (kept as fallback and oracle).
+var benchEngines = []struct {
+	name   string
+	interp gpu.Interpreter
+}{
+	{"bytecode", gpu.InterpreterBytecode},
+	{"tree", gpu.InterpreterTree},
+}
+
+// baselineLaunch stages one workload on a fresh device with the given
+// engine and returns a closure that re-launches it, plus the (engine-
+// independent) simulated cycle count. Device construction and input
+// staging stay outside the measured region so the benchmark isolates
+// interpreter throughput.
+func baselineLaunch(tb testing.TB, spec *workloads.Spec, interp gpu.Interpreter) (func(), float64) {
+	cfg := gpu.DefaultConfig()
+	cfg.Interpreter = interp
+	d := gpu.New(cfg)
+	k := spec.Build()
+	inst := spec.Setup(d, workloads.Dataset{Index: 0})
+	ls := gpu.LaunchSpec{Grid: inst.Grid, Block: inst.Block, Args: inst.Args}
+	// One warm-up launch: compiles the bytecode program (later launches
+	// hit the program cache, the production steady state).
+	res, err := d.Launch(k, ls)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return func() {
+		if _, err := d.Launch(k, ls); err != nil {
+			tb.Fatal(err)
+		}
+	}, res.Cycles
+}
+
+// BenchmarkBaselineKernels measures raw simulator throughput per program
+// and per execution engine: the substrate cost on which every other
+// experiment stands. Compare engines with
+//
+//	go test -bench BenchmarkBaselineKernels -v .
 func BenchmarkBaselineKernels(b *testing.B) {
-	for _, spec := range workloads.HPC() {
-		spec := spec
-		b.Run(spec.Name, func(b *testing.B) {
-			k := spec.Build()
-			for i := 0; i < b.N; i++ {
-				d := gpu.New(gpu.DefaultConfig())
-				inst := spec.Setup(d, workloads.Dataset{Index: 0})
-				res, err := d.Launch(k, gpu.LaunchSpec{Grid: inst.Grid, Block: inst.Block, Args: inst.Args})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(res.Cycles, "gpu-cycles")
+	for _, eng := range benchEngines {
+		eng := eng
+		b.Run(eng.name, func(b *testing.B) {
+			for _, spec := range workloads.HPC() {
+				spec := spec
+				b.Run(spec.Name, func(b *testing.B) {
+					launch, cycles := baselineLaunch(b, spec, eng.interp)
+					b.ReportMetric(cycles, "gpu-cycles")
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						launch()
+					}
+				})
 			}
 		})
 	}
@@ -523,6 +564,76 @@ func TestWriteObsBenchJSON(t *testing.T) {
 	}
 	t.Logf("wrote %s: nop %d ns/op, enabled %d ns/op (%.1f%% overhead)",
 		path, report.NopNsPerOp, report.EnabledNsPerOp, report.OverheadPercent)
+}
+
+// TestWritePerfBenchJSON measures both execution engines on every HPC
+// workload and writes the comparison to the file named by BENCH_PERF_JSON
+// (skipped when the variable is unset):
+//
+//	BENCH_PERF_JSON=BENCH_perf.json go test -run TestWritePerfBenchJSON .
+//
+// For each workload it records wall-clock ns/op, simulated GPU cycles,
+// and simulated-cycles-per-second of host time; the headline number is
+// the geometric-mean speedup of the bytecode engine over the tree walker.
+func TestWritePerfBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_PERF_JSON")
+	if path == "" {
+		t.Skip("set BENCH_PERF_JSON=<path> to measure and record the engine comparison")
+	}
+	type engineRow struct {
+		NsPerOp      int64   `json:"ns_per_op"`
+		CyclesPerSec float64 `json:"simulated_cycles_per_second"`
+	}
+	type workloadRow struct {
+		Program  string    `json:"program"`
+		Cycles   float64   `json:"gpu_cycles"`
+		Tree     engineRow `json:"tree"`
+		Bytecode engineRow `json:"bytecode"`
+		Speedup  float64   `json:"speedup"`
+	}
+	measure := func(spec *workloads.Spec, interp gpu.Interpreter) (testing.BenchmarkResult, float64) {
+		launch, cycles := baselineLaunch(t, spec, interp)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				launch()
+			}
+		})
+		return res, cycles
+	}
+	var rows []workloadRow
+	logSum := 0.0
+	for _, spec := range workloads.HPC() {
+		tree, cycles := measure(spec, gpu.InterpreterTree)
+		bc, _ := measure(spec, gpu.InterpreterBytecode)
+		row := workloadRow{
+			Program:  spec.Name,
+			Cycles:   cycles,
+			Tree:     engineRow{tree.NsPerOp(), cycles * 1e9 / float64(tree.NsPerOp())},
+			Bytecode: engineRow{bc.NsPerOp(), cycles * 1e9 / float64(bc.NsPerOp())},
+			Speedup:  float64(tree.NsPerOp()) / float64(bc.NsPerOp()),
+		}
+		logSum += math.Log(row.Speedup)
+		rows = append(rows, row)
+		t.Logf("%-8s tree %d ns/op, bytecode %d ns/op (%.2fx)",
+			spec.Name, row.Tree.NsPerOp, row.Bytecode.NsPerOp, row.Speedup)
+	}
+	report := struct {
+		Benchmark      string        `json:"benchmark"`
+		Workloads      []workloadRow `json:"workloads"`
+		GeomeanSpeedup float64       `json:"geomean_speedup"`
+	}{
+		Benchmark:      "BenchmarkBaselineKernels: tree walker vs bytecode engine",
+		Workloads:      rows,
+		GeomeanSpeedup: math.Exp(logSum / float64(len(rows))),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: geomean speedup %.2fx", path, report.GeomeanSpeedup)
 }
 
 // BenchmarkRecoveryCampaign drives injections through the full Figure 11

@@ -15,6 +15,9 @@
 // `hauberk-report -trace t.jsonl`. With -metrics a Prometheus-text
 // exposition is dumped at exit.
 //
+// -engine selects the kernel execution engine: the compiled bytecode
+// engine (default) or the tree-walking interpreter it replaced.
+//
 // The exit code encodes the guardian's final diagnosis so scripts can
 // branch on the outcome: 0 for an accepted output (clean, recovered
 // transient, learned false alarm), 3 device-fault, 4 software-error,
@@ -53,12 +56,24 @@ func run() int {
 		saveRanges  = flag.String("save-ranges", "", "write the (possibly on-line-updated) value ranges to this JSON file at exit")
 		tracePath   = flag.String("trace", "", "write a JSONL telemetry event journal to this file")
 		metricsPath = flag.String("metrics", "", "dump Prometheus-text metrics to this file at exit")
+		engine      = flag.String("engine", "bytecode", "kernel execution engine: bytecode or tree")
 	)
 	flag.Parse()
 
 	spec := workloads.ByName(*program)
 	if spec == nil {
 		fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
+		return 2
+	}
+
+	var interp gpu.Interpreter
+	switch *engine {
+	case "bytecode":
+		interp = gpu.InterpreterBytecode
+	case "tree":
+		interp = gpu.InterpreterTree
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
 		return 2
 	}
 
@@ -108,6 +123,7 @@ func run() int {
 	}
 
 	env := harness.NewEnv(harness.QuickScale()).WithObs(tel)
+	env.Config.Interpreter = interp
 	ds := workloads.Dataset{Index: *dataset}
 
 	// The FT library loads profiled value ranges from a file at the entry
@@ -159,7 +175,7 @@ func run() int {
 	// with a known output. A persistent fault lives in device 0's
 	// hardware, so the self test fails there and the recovery engine
 	// migrates the program.
-	devPool := makeDevices(*devices)
+	devPool := makeDevices(*devices, interp)
 	faulty := devPool[0]
 	selfTest := func(d *gpu.Device) bool {
 		if *persistent && d == faulty {
@@ -255,10 +271,12 @@ func run() int {
 	return rep.Diagnosis.ExitCode()
 }
 
-func makeDevices(n int) []*gpu.Device {
+func makeDevices(n int, interp gpu.Interpreter) []*gpu.Device {
+	cfg := gpu.DefaultConfig()
+	cfg.Interpreter = interp
 	out := make([]*gpu.Device, n)
 	for i := range out {
-		out[i] = gpu.New(gpu.DefaultConfig())
+		out[i] = gpu.New(cfg)
 	}
 	return out
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Range is one closed interval [Min, Max].
@@ -48,7 +49,12 @@ func (r Range) scaled(alpha float64) Range {
 	return out
 }
 
-// Detector is the learned range set for one loop error detector.
+// Detector is the learned range set for one loop error detector. Check,
+// Absorb, and SetAlpha synchronize internally, so a detector shared by
+// concurrent supervised executions (the parallel recovery campaign: one
+// worker's kernel checks values while another absorbs a confirmed false
+// alarm) needs no external locking. Direct field access remains fine for
+// the sequential profiling/reporting paths.
 type Detector struct {
 	Name   string  `json:"name"` // "<kernel>/<protected variable>"
 	IsFP   bool    `json:"is_fp"`
@@ -58,12 +64,16 @@ type Detector struct {
 	Threshold float64 `json:"threshold"`
 	// Trained counts the samples the ranges were learned from.
 	Trained int `json:"trained"`
+
+	mu sync.RWMutex
 }
 
 // Check reports whether v is inside any alpha-scaled range. A detector with
 // no learned ranges accepts everything (bootstrap behaviour before the
 // profiling run).
 func (d *Detector) Check(v float64) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if len(d.Ranges) == 0 {
 		return true
 	}
@@ -82,12 +92,21 @@ func (d *Detector) Check(v float64) bool {
 	return false
 }
 
+// SetAlpha replaces the recalibration factor.
+func (d *Detector) SetAlpha(alpha float64) {
+	d.mu.Lock()
+	d.Alpha = alpha
+	d.mu.Unlock()
+}
+
 // Absorb widens the nearest range to include v. The recovery engine calls
 // it when re-execution identifies a false positive (on-line learning).
 func (d *Detector) Absorb(v float64) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(d.Ranges) == 0 {
 		d.Ranges = []Range{{Min: v, Max: v}}
 		return

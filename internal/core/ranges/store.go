@@ -52,7 +52,7 @@ func (s *Store) SetAlpha(alpha float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, d := range s.byID {
-		d.Alpha = alpha
+		d.SetAlpha(alpha)
 	}
 }
 
@@ -63,9 +63,17 @@ func (s *Store) Clone() *Store {
 	defer s.mu.Unlock()
 	out := NewStore()
 	for n, d := range s.byID {
-		cp := *d
-		cp.Ranges = append([]Range(nil), d.Ranges...)
-		out.byID[n] = &cp
+		d.mu.RLock()
+		cp := &Detector{
+			Name:      d.Name,
+			IsFP:      d.IsFP,
+			Ranges:    append([]Range(nil), d.Ranges...),
+			Alpha:     d.Alpha,
+			Threshold: d.Threshold,
+			Trained:   d.Trained,
+		}
+		d.mu.RUnlock()
+		out.byID[n] = cp
 	}
 	return out
 }

@@ -1,0 +1,567 @@
+package gpu
+
+import (
+	"math"
+
+	"hauberk/internal/kir"
+)
+
+// launchBytecode executes a validated launch through the compiled bytecode
+// engine. The warp aggregation, SM spreading, and early-exit-on-error
+// behaviour replicate launchTree exactly; the per-thread inner loop is the
+// flat dispatch in (*bcThread).run.
+func (d *Device) launchBytecode(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
+	p, hit := programFor(k, d.cfg)
+	if spec.Obs.Enabled() {
+		result := "miss"
+		if hit {
+			result = "hit"
+		}
+		spec.Obs.Metrics().Counter("hauberk_program_cache_total",
+			"kernel", k.Name, "result", result).Inc()
+	}
+
+	res := &Result{Threads: spec.Grid * spec.Block, MaxLive: p.maxLive, Spill: p.spillExtra > 0}
+	warp := d.cfg.WarpSize
+	var sumWarpCycles, sumThreadCycles, sumLoopCycles float64
+
+	// One register file for the whole launch: variable slots are cleared
+	// per thread, the constant pool is loaded once, and temporaries are
+	// written before they are read within each straight-line segment.
+	regs := make([]uint32, p.nslots)
+	copy(regs[p.nv:], p.consts)
+
+	t := bcThread{
+		d:      d,
+		p:      p,
+		spec:   &spec,
+		hooks:  spec.Hooks,
+		regs:   regs,
+		budget: d.cfg.StepBudget,
+	}
+	// In GPU mode any address below the virtual limit is a valid access, so
+	// the dispatch loop can skip the (non-inlinable) checkAccess call on the
+	// fast path. CPU mode keeps the limit at zero: every access goes through
+	// the full page-map check.
+	if d.cfg.Mode == ModeGPU {
+		t.fastLimit = VirtualWords
+	}
+
+	for blk := 0; blk < spec.Grid; blk++ {
+		var warpMax float64
+		for tid := 0; tid < spec.Block; tid++ {
+			clear(regs[:p.nv])
+			for i, par := range k.Params {
+				if par.Type == kir.Ptr {
+					regs[par.ID] = spec.Args[i].Buf.Off
+				} else {
+					regs[par.ID] = spec.Args[i].Scalar
+				}
+			}
+			t.tc = ThreadCtx{Block: blk, Thread: tid}
+			err := t.run()
+			sumThreadCycles += t.cycles
+			sumLoopCycles += t.loopCycles
+			if t.cycles > warpMax {
+				warpMax = t.cycles
+			}
+			if (tid+1)%warp == 0 || tid == spec.Block-1 {
+				sumWarpCycles += warpMax
+				warpMax = 0
+			}
+			res.Loads += t.loads
+			res.Stores += t.stores
+			if err != nil {
+				finishResult(res, d, sumWarpCycles, sumThreadCycles, sumLoopCycles)
+				return res, err
+			}
+		}
+	}
+	finishResult(res, d, sumWarpCycles, sumThreadCycles, sumLoopCycles)
+	return res, nil
+}
+
+// bcThread is the per-thread state of the bytecode engine. The counters are
+// overwritten (not accumulated) by each run call.
+type bcThread struct {
+	d         *Device
+	p         *program
+	spec      *LaunchSpec
+	hooks     Hooks
+	tc        ThreadCtx
+	regs      []uint32
+	budget    int
+	fastLimit uint32 // addresses below it never fail checkAccess
+
+	cycles     float64
+	loopCycles float64
+	steps      int
+	loads      int64
+	stores     int64
+}
+
+func (t *bcThread) crash(reason string) error {
+	return &CrashError{Reason: reason, Block: t.tc.Block, Thread: t.tc.Thread}
+}
+
+// run executes the program for one thread. Cycle accounting is bit-identical
+// to the tree-walker: every charge the tree would issue maps to one cost
+// add here, in the same order (see the determinism contract in bytecode.go).
+func (t *bcThread) run() error {
+	p := t.p
+	insts := p.insts
+	regs := t.regs
+	d := t.d
+	arena := d.arena
+	fault := d.fault
+	fastLimit := t.fastLimit
+	var cycles, loopCycles float64
+	var steps int
+	var loads, stores int64
+	var err error
+	pc := 0
+
+loop:
+	for pc < len(insts) {
+		in := &insts[pc]
+		if in.flags&fStep != 0 {
+			steps++
+			if steps > t.budget {
+				err = &HangError{Block: t.tc.Block, Thread: t.tc.Thread, Steps: steps}
+				break loop
+			}
+		}
+		switch in.op {
+		case opNop:
+			// step carrier only
+
+		case opCharge:
+			cycles += in.cost
+			loopCycles += in.costLoop
+
+		case opMove:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = regs[in.b]
+
+		case opJmp:
+			pc = int(in.a)
+			continue
+
+		case opJZ:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if regs[in.b] == 0 {
+				pc = int(in.a)
+				continue
+			}
+
+		case opForTest:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if int32(regs[in.b]) >= int32(regs[in.c]) {
+				pc = int(in.a)
+				continue
+			}
+
+		case opForInc:
+			regs[in.a] = uint32(int32(regs[in.a]) + int32(regs[in.b]))
+			cycles += in.cost
+			loopCycles += in.costLoop
+
+		case opCrash:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			err = t.crash(p.crashMsgs[in.imm])
+			break loop
+
+		case opLoad:
+			addr := regs[in.b] + regs[in.c]
+			if addr >= fastLimit {
+				if reason := d.checkAccess(addr); reason != "" {
+					err = t.crash("load: " + reason)
+					break loop
+				}
+			}
+			cycles += in.cost
+			loopCycles += in.costLoop
+			loads++
+			var val uint32
+			if int(addr) < len(arena) {
+				val = arena[addr]
+			}
+			if fault != nil {
+				val = fault(addr, val)
+			}
+			regs[in.a] = val
+
+		case opStore:
+			addr := regs[in.a] + regs[in.b]
+			if addr >= fastLimit {
+				if reason := d.checkAccess(addr); reason != "" {
+					err = t.crash("store: " + reason)
+					break loop
+				}
+			}
+			cycles += in.cost
+			loopCycles += in.costLoop
+			stores++
+			if int(addr) < len(arena) {
+				arena[addr] = regs[in.c]
+			}
+
+		// Integer ALU. Costs are charged before the operation, matching the
+		// tree-walker's charge-then-compute order (observable at the
+		// divide-by-zero crashes, which the tree charges for first).
+		case opAddI:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = regs[in.b] + regs[in.c]
+		case opSubI:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = regs[in.b] - regs[in.c]
+		case opMulI:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = uint32(int32(regs[in.b]) * int32(regs[in.c]))
+		case opDivS:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if regs[in.c] == 0 {
+				err = t.crash("integer divide by zero")
+				break loop
+			}
+			regs[in.a] = uint32(int32(regs[in.b]) / int32(regs[in.c]))
+		case opDivU:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if regs[in.c] == 0 {
+				err = t.crash("integer divide by zero")
+				break loop
+			}
+			regs[in.a] = regs[in.b] / regs[in.c]
+		case opRemS:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if regs[in.c] == 0 {
+				err = t.crash("integer remainder by zero")
+				break loop
+			}
+			regs[in.a] = uint32(int32(regs[in.b]) % int32(regs[in.c]))
+		case opRemU:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if regs[in.c] == 0 {
+				err = t.crash("integer remainder by zero")
+				break loop
+			}
+			regs[in.a] = regs[in.b] % regs[in.c]
+		case opAnd:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = regs[in.b] & regs[in.c]
+		case opOr:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = regs[in.b] | regs[in.c]
+		case opXor:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = regs[in.b] ^ regs[in.c]
+		case opShl:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = regs[in.b] << (regs[in.c] & 31)
+		case opShrS:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = uint32(int32(regs[in.b]) >> (regs[in.c] & 31))
+		case opShrU:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = regs[in.b] >> (regs[in.c] & 31)
+		case opLAnd:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] != 0 && regs[in.c] != 0)
+		case opLOr:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] != 0 || regs[in.c] != 0)
+		case opEqI:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] == regs[in.c])
+		case opNeI:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] != regs[in.c])
+		case opLtS:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(int32(regs[in.b]) < int32(regs[in.c]))
+		case opLeS:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(int32(regs[in.b]) <= int32(regs[in.c]))
+		case opGtS:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(int32(regs[in.b]) > int32(regs[in.c]))
+		case opGeS:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(int32(regs[in.b]) >= int32(regs[in.c]))
+		case opLtU:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] < regs[in.c])
+		case opLeU:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] <= regs[in.c])
+		case opGtU:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] > regs[in.c])
+		case opGeU:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] >= regs[in.c])
+
+		// FP ALU. Divide by zero yields an infinity, not an exception
+		// (Section II.A cause (b)).
+		case opAddF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = math.Float32bits(math.Float32frombits(regs[in.b]) + math.Float32frombits(regs[in.c]))
+		case opSubF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = math.Float32bits(math.Float32frombits(regs[in.b]) - math.Float32frombits(regs[in.c]))
+		case opMulF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = math.Float32bits(math.Float32frombits(regs[in.b]) * math.Float32frombits(regs[in.c]))
+		case opDivF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = math.Float32bits(math.Float32frombits(regs[in.b]) / math.Float32frombits(regs[in.c]))
+		case opEqF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(math.Float32frombits(regs[in.b]) == math.Float32frombits(regs[in.c]))
+		case opNeF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(math.Float32frombits(regs[in.b]) != math.Float32frombits(regs[in.c]))
+		case opLtF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(math.Float32frombits(regs[in.b]) < math.Float32frombits(regs[in.c]))
+		case opLeF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(math.Float32frombits(regs[in.b]) <= math.Float32frombits(regs[in.c]))
+		case opGtF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(math.Float32frombits(regs[in.b]) > math.Float32frombits(regs[in.c]))
+		case opGeF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(math.Float32frombits(regs[in.b]) >= math.Float32frombits(regs[in.c]))
+
+		case opNegI:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = uint32(-int32(regs[in.b]))
+		case opNegF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = math.Float32bits(-math.Float32frombits(regs[in.b]))
+		case opNotL:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = b2u(regs[in.b] == 0)
+		case opBNot:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = ^regs[in.b]
+
+		case opF2I:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = convert(kir.F32, kir.I32, regs[in.b])
+		case opF2U:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = convert(kir.F32, kir.U32, regs[in.b])
+		case opI2F:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = math.Float32bits(float32(int32(regs[in.b])))
+		case opU2F:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			regs[in.a] = math.Float32bits(float32(regs[in.b]))
+
+		case opCallI:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			a := int32(regs[in.b])
+			switch kir.Builtin(in.imm) {
+			case kir.Abs:
+				if a < 0 {
+					a = -a
+				}
+			case kir.Min:
+				if b := int32(regs[in.c]); b < a {
+					a = b
+				}
+			case kir.Max:
+				if b := int32(regs[in.c]); b > a {
+					a = b
+				}
+			}
+			regs[in.a] = uint32(a)
+
+		case opCallF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			x := float64(math.Float32frombits(regs[in.b]))
+			var y float64
+			switch kir.Builtin(in.imm) {
+			case kir.Sqrt:
+				y = math.Sqrt(x)
+			case kir.RSqrt:
+				y = 1 / math.Sqrt(x)
+			case kir.Exp:
+				y = math.Exp(x)
+			case kir.Log:
+				y = math.Log(x)
+			case kir.Sin:
+				y = math.Sin(x)
+			case kir.Cos:
+				y = math.Cos(x)
+			case kir.Abs:
+				y = math.Abs(x)
+			case kir.Floor:
+				y = math.Floor(x)
+			case kir.Min:
+				y = math.Min(x, float64(math.Float32frombits(regs[in.c])))
+			case kir.Max:
+				y = math.Max(x, float64(math.Float32frombits(regs[in.c])))
+			}
+			regs[in.a] = math.Float32bits(float32(y))
+
+		case opSpecial:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			switch kir.SpecialKind(in.imm) {
+			case kir.ThreadIdx:
+				regs[in.a] = uint32(t.tc.Thread)
+			case kir.BlockIdx:
+				regs[in.a] = uint32(t.tc.Block)
+			case kir.BlockDim:
+				regs[in.a] = uint32(t.spec.Block)
+			case kir.GridDim:
+				regs[in.a] = uint32(t.spec.Grid)
+			}
+
+		case opProbe:
+			if t.hooks != nil {
+				val, changed := t.hooks.Probe(t.tc, int(in.imm), p.vars[in.a], kir.HW(in.b), regs[in.a])
+				if changed {
+					regs[in.a] = val
+				}
+			}
+
+		case opCountExec:
+			if t.hooks != nil {
+				t.hooks.CountExec(t.tc, int(in.imm))
+			}
+
+		case opRangeCheck:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if t.hooks != nil {
+				t.hooks.RangeCheck(t.tc, int(in.imm), t.averagedSlots(in))
+			}
+
+		case opEqualCheck:
+			if t.hooks != nil {
+				t.hooks.EqualCheck(t.tc, int(in.imm), int32(regs[in.a]), int32(regs[in.b]))
+			}
+
+		case opProfileSample:
+			if t.hooks != nil {
+				t.hooks.ProfileSample(t.tc, int(in.imm), t.averagedSlots(in))
+			}
+
+		case opSetSDC:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if t.hooks != nil {
+				t.hooks.SetSDC(t.tc, int(in.imm), kir.DetectKind(in.a))
+			}
+
+		case opSync:
+			cycles += in.cost
+			loopCycles += in.costLoop
+		}
+		pc++
+	}
+
+	// The tree-walker charges a loop head's LoopOver cost even when the
+	// head expression crashed. A crash inside a head-expression region owes
+	// that charge before propagating; hangs do not (the tree's step check
+	// precedes the head evaluation). Region charges are always loop time.
+	if err != nil {
+		if _, hang := err.(*HangError); !hang {
+			for _, r := range p.regions {
+				if pc >= r.start && pc < r.end {
+					cycles += r.charge
+					loopCycles += r.charge
+					break
+				}
+			}
+		}
+	}
+
+	t.cycles = cycles
+	t.loopCycles = loopCycles
+	t.steps = steps
+	t.loads = loads
+	t.stores = stores
+	return err
+}
+
+// averagedSlots mirrors the tree-walker's averaged(): accumulator slot in
+// in.a interpreted per in.c, divided by a non-zero count in slot in.b (-1:
+// no count). Reads charge nothing.
+func (t *bcThread) averagedSlots(in *inst) float64 {
+	var v float64
+	switch in.c {
+	case avgF32:
+		v = float64(math.Float32frombits(t.regs[in.a]))
+	case avgU32:
+		v = float64(t.regs[in.a])
+	default:
+		v = float64(int32(t.regs[in.a]))
+	}
+	if in.b >= 0 {
+		if n := int32(t.regs[in.b]); n != 0 {
+			v /= float64(n)
+		}
+	}
+	return v
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -52,6 +52,21 @@ const (
 	ModeCPU
 )
 
+// Interpreter selects the kernel execution engine.
+type Interpreter uint8
+
+// Execution engines. Both produce bit-identical results, cycle counts, and
+// hook call sequences; the tree-walker survives as the differential-test
+// oracle and a debugging fallback.
+const (
+	// InterpreterBytecode (the default) compiles kernels to a flat
+	// register program once per (kernel, cost configuration) and runs a
+	// non-recursive dispatch loop (see bytecode.go / compile.go).
+	InterpreterBytecode Interpreter = iota
+	// InterpreterTree walks the kir tree recursively (exec.go).
+	InterpreterTree
+)
+
 // Config describes the simulated device.
 type Config struct {
 	Mode          Mode
@@ -63,6 +78,9 @@ type Config struct {
 	// execution-time watchdog.
 	StepBudget int
 	Costs      CostModel
+	// Interpreter picks the execution engine; the zero value is the
+	// compiled bytecode engine.
+	Interpreter Interpreter
 }
 
 // DefaultConfig returns a GT200-like device: 30 SMs, 32-wide warps, 20

@@ -127,6 +127,16 @@ func (d *Device) launch(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
 		}
 	}
 
+	if d.cfg.Interpreter == InterpreterTree {
+		return d.launchTree(k, spec)
+	}
+	return d.launchBytecode(k, spec)
+}
+
+// launchTree runs a validated launch through the recursive tree-walking
+// interpreter. It is the semantic oracle for the bytecode engine: the
+// differential tests hold the two engines to bit-identical results.
+func (d *Device) launchTree(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
 	an := kir.Analyze(k)
 	ex := &exec{
 		d:     d,
@@ -485,16 +495,22 @@ func (t *thread) eval(e kir.Expr) (uint32, error) {
 		}
 		return val, nil
 	case kir.Call:
-		args := make([]uint32, len(n.Args))
+		// Builtins take at most two arguments; evaluating into locals
+		// avoids a per-evaluation slice allocation in the hot loop.
+		var a0, a1 uint32
 		for i, a := range n.Args {
 			v, err := t.eval(a)
 			if err != nil {
 				return 0, err
 			}
-			args[i] = v
+			if i == 0 {
+				a0 = v
+			} else if i == 1 {
+				a1 = v
+			}
 		}
 		t.charge(c.callCost(n.Fn))
-		return t.call(n.Fn, n.Args, args)
+		return t.call(n.Fn, n.Args, a0, a1)
 	case kir.Special:
 		t.charge(c.RegMove)
 		switch n.Kind {
@@ -632,11 +648,11 @@ func (t *thread) binop(op kir.BinOp, typ kir.Type, l, r uint32) (uint32, error) 
 	return 0, t.crash("unknown binary op %v", op)
 }
 
-func (t *thread) call(fn kir.Builtin, argExprs []kir.Expr, args []uint32) (uint32, error) {
+func (t *thread) call(fn kir.Builtin, argExprs []kir.Expr, arg0, arg1 uint32) (uint32, error) {
 	typ := argExprs[0].ResultType()
 	if typ != kir.F32 {
 		// Integer min/max/abs; transcendental builtins require F32.
-		a := int32(args[0])
+		a := int32(arg0)
 		switch fn {
 		case kir.Abs:
 			if a < 0 {
@@ -644,13 +660,13 @@ func (t *thread) call(fn kir.Builtin, argExprs []kir.Expr, args []uint32) (uint3
 			}
 			return uint32(a), nil
 		case kir.Min:
-			b := int32(args[1])
+			b := int32(arg1)
 			if b < a {
 				a = b
 			}
 			return uint32(a), nil
 		case kir.Max:
-			b := int32(args[1])
+			b := int32(arg1)
 			if b > a {
 				a = b
 			}
@@ -659,7 +675,7 @@ func (t *thread) call(fn kir.Builtin, argExprs []kir.Expr, args []uint32) (uint3
 			return 0, t.crash("builtin %v requires f32 operand", fn)
 		}
 	}
-	x := float64(math.Float32frombits(args[0]))
+	x := float64(math.Float32frombits(arg0))
 	var y float64
 	switch fn {
 	case kir.Sqrt:
@@ -679,9 +695,9 @@ func (t *thread) call(fn kir.Builtin, argExprs []kir.Expr, args []uint32) (uint3
 	case kir.Floor:
 		y = math.Floor(x)
 	case kir.Min:
-		y = math.Min(x, float64(math.Float32frombits(args[1])))
+		y = math.Min(x, float64(math.Float32frombits(arg1)))
 	case kir.Max:
-		y = math.Max(x, float64(math.Float32frombits(args[1])))
+		y = math.Max(x, float64(math.Float32frombits(arg1)))
 	default:
 		return 0, t.crash("unknown builtin %v", fn)
 	}

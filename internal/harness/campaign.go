@@ -160,10 +160,7 @@ func (e *Env) RunCampaign(
 		ByClass: make(map[kir.DataClass]*Tally),
 		Results: make([]InjectionResult, len(plan)),
 	}
-	workers := e.Scale.Workers
-	if workers <= 0 {
-		workers = 1
-	}
+	workers := e.campaignWorkers()
 	if e.Obs.Enabled() {
 		e.Obs.Emit(obs.EvCampaignStart,
 			obs.Str("program", spec.Name),

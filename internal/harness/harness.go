@@ -9,6 +9,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"hauberk/internal/core/translate"
@@ -49,11 +50,13 @@ type Scale struct {
 	// Fig16Repeats and Fig16Checkpoints size the false-positive study.
 	Fig16Repeats     int
 	Fig16Checkpoints []int
-	// Workers bounds campaign parallelism.
+	// Workers bounds campaign parallelism; zero or negative means one
+	// worker per CPU (runtime.NumCPU).
 	Workers int
 }
 
-// FullScale approximates the paper's experiment sizes.
+// FullScale approximates the paper's experiment sizes. Workers is left at
+// the machine-sized default (one per CPU).
 func FullScale() Scale {
 	return Scale{
 		MaxSites:         50,
@@ -62,11 +65,11 @@ func FullScale() Scale {
 		Fig15Samples:     200_000,
 		Fig16Repeats:     10,
 		Fig16Checkpoints: []int{1, 3, 5, 7, 10, 18, 30, 50},
-		Workers:          8,
 	}
 }
 
-// QuickScale is small enough for unit tests.
+// QuickScale is small enough for unit tests. Workers is left at the
+// machine-sized default (one per CPU).
 func QuickScale() Scale {
 	return Scale{
 		MaxSites:         12,
@@ -75,7 +78,6 @@ func QuickScale() Scale {
 		Fig15Samples:     5_000,
 		Fig16Repeats:     3,
 		Fig16Checkpoints: []int{1, 5, 10, 25},
-		Workers:          4,
 	}
 }
 
@@ -129,6 +131,15 @@ func (e *Env) Instrument(spec *workloads.Spec, opts translate.Options) (*transla
 	e.cache[key] = r
 	e.mu.Unlock()
 	return r, nil
+}
+
+// campaignWorkers resolves Scale.Workers: a non-positive value scales with
+// the machine.
+func (e *Env) campaignWorkers() int {
+	if w := e.Scale.Workers; w > 0 {
+		return w
+	}
+	return runtime.NumCPU()
 }
 
 // NewDevice creates a fresh simulated device for one run.

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"sync"
+
 	"hauberk/internal/core/hrt"
 	"hauberk/internal/core/ranges"
 	"hauberk/internal/core/translate"
@@ -33,6 +35,13 @@ type RecoveryStats struct {
 // execution and tallies the diagnosis outcomes. Faults are transient: they
 // arm once and do not re-fire on re-execution, so the guardian's
 // re-execution paths get exercised exactly as the paper describes.
+//
+// Injections run on Scale.Workers parallel workers (machine-sized when
+// unset), each with its own devices and injector; the live range store, the
+// stats tallies, and the alpha controller are shared campaign-wide, as they
+// would be in one production deployment. The per-injection diagnosis is
+// deterministic; only the interleaving of on-line learning across
+// injections depends on scheduling.
 func (e *Env) RunRecoveryCampaign(
 	spec *workloads.Spec,
 	golden *GoldenRun,
@@ -46,86 +55,110 @@ func (e *Env) RunRecoveryCampaign(
 	stats := &RecoveryStats{AlphaController: guardian.NewAlphaController()}
 	stats.AlphaController.Obs = e.Obs
 	// One store shared across the campaign: on-line learning and alpha
-	// recalibration accumulate, as they would in production.
+	// recalibration accumulate, as they would in production. Detector
+	// Check/Absorb synchronize internally.
 	live := store.Clone()
 
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards stats and the alpha controller
+		firstErr error
+	)
+	sem := make(chan struct{}, e.campaignWorkers())
 	for _, inj := range plan {
-		injector := &swifi.Injector{}
-		injector.Arm(inj.Cmd)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(inj Injection) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			injector := &swifi.Injector{}
+			injector.Arm(inj.Cmd)
 
-		pool := guardian.NewDevicePool(
-			[]*gpu.Device{e.NewDevice(), e.NewDevice()},
-			func(*gpu.Device) bool { return true }, // transient faults: BIST passes
-			2,
-		)
-		run := func(dev *gpu.Device) *guardian.RunOutcome {
-			inst := spec.Setup(dev, golden.Dataset)
-			cb := hrt.NewControlBlock(tr.Detectors, live)
-			rt := hrt.NewFT(cb)
-			rt.Inject = injector.Probe // injector fires once; re-executions are clean
-			res, lerr := dev.Launch(tr.Kernel, gpu.LaunchSpec{
-				Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt,
-			})
-			out := &guardian.RunOutcome{Err: lerr, Cycles: res.Cycles}
-			if lerr == nil {
-				out.Output = inst.ReadOutput()
-				out.SDC = cb.SDC()
-				out.Alarms = cb.Alarms()
+			pool := guardian.NewDevicePool(
+				[]*gpu.Device{e.NewDevice(), e.NewDevice()},
+				func(*gpu.Device) bool { return true }, // transient faults: BIST passes
+				2,
+			)
+			run := func(dev *gpu.Device) *guardian.RunOutcome {
+				inst := spec.Setup(dev, golden.Dataset)
+				cb := hrt.NewControlBlock(tr.Detectors, live)
+				rt := hrt.NewFT(cb)
+				rt.Inject = injector.Probe // injector fires once; re-executions are clean
+				res, lerr := dev.Launch(tr.Kernel, gpu.LaunchSpec{
+					Grid: inst.Grid, Block: inst.Block, Args: inst.Args, Hooks: rt,
+				})
+				out := &guardian.RunOutcome{Err: lerr, Cycles: res.Cycles}
+				if lerr == nil {
+					out.Output = inst.ReadOutput()
+					out.SDC = cb.SDC()
+					out.Alarms = cb.Alarms()
+				}
+				return out
 			}
-			return out
-		}
-		cfg := guardian.Config{
-			Pool: pool,
-			Obs:  e.Obs,
-			OnFalseAlarm: func(alarms []hrt.Alarm) {
-				for _, a := range alarms {
-					if a.Kind != kir.DetectRange { // only range alarms carry a value to learn
-						continue
-					}
-					if a.Detector < len(tr.Detectors) {
-						if det := live.Get(tr.Detectors[a.Detector].Name); det != nil {
-							det.Absorb(a.Value)
-							stats.RangesWidened++
-							if e.Obs.Enabled() {
-								e.Obs.Emit(obs.EvRangeWiden,
-									obs.Int("detector", int64(a.Detector)),
-									obs.Str("name", tr.Detectors[a.Detector].Name),
-									obs.Float("value", a.Value))
-								e.Obs.Metrics().Counter("hauberk_ranges_widened_total").Inc()
+			cfg := guardian.Config{
+				Pool: pool,
+				Obs:  e.Obs,
+				OnFalseAlarm: func(alarms []hrt.Alarm) {
+					for _, a := range alarms {
+						if a.Kind != kir.DetectRange { // only range alarms carry a value to learn
+							continue
+						}
+						if a.Detector < len(tr.Detectors) {
+							if det := live.Get(tr.Detectors[a.Detector].Name); det != nil {
+								det.Absorb(a.Value)
+								mu.Lock()
+								stats.RangesWidened++
+								mu.Unlock()
+								if e.Obs.Enabled() {
+									e.Obs.Emit(obs.EvRangeWiden,
+										obs.Int("detector", int64(a.Detector)),
+										obs.Str("name", tr.Detectors[a.Detector].Name),
+										obs.Float("value", a.Value))
+									e.Obs.Metrics().Counter("hauberk_ranges_widened_total").Inc()
+								}
 							}
 						}
 					}
-				}
-			},
-		}
-		rep, err := guardian.Supervise(cfg, run)
-		if err != nil {
-			return nil, err
-		}
-		stats.Runs++
-		stats.Reexecutions += rep.Executions - 1
-		switch rep.Diagnosis {
-		case guardian.DiagClean:
-			stats.Clean++
-		case guardian.DiagTransient:
-			stats.TransientFixed++
-		case guardian.DiagFalseAlarm:
-			stats.FalseAlarms++
-		case guardian.DiagDeviceFault:
-			stats.DeviceFaults++
-		case guardian.DiagSoftwareError:
-			stats.SoftwareErrors++
-		case guardian.DiagGaveUp:
-			stats.GaveUp++
-		}
-		if rep.Diagnosis != guardian.DiagGaveUp && rep.Final != nil && rep.Final.Err == nil {
-			if spec.Requirement.Check(golden.Output, rep.Final.Output) {
-				stats.FinalCorrect++
+				},
 			}
-		}
-		if rep.Executions > 1 {
-			stats.AlphaController.ObserveDiagnosis(rep.Diagnosis == guardian.DiagFalseAlarm, live)
-		}
+			rep, serr := guardian.Supervise(cfg, run)
+			mu.Lock()
+			defer mu.Unlock()
+			if serr != nil {
+				if firstErr == nil {
+					firstErr = serr
+				}
+				return
+			}
+			stats.Runs++
+			stats.Reexecutions += rep.Executions - 1
+			switch rep.Diagnosis {
+			case guardian.DiagClean:
+				stats.Clean++
+			case guardian.DiagTransient:
+				stats.TransientFixed++
+			case guardian.DiagFalseAlarm:
+				stats.FalseAlarms++
+			case guardian.DiagDeviceFault:
+				stats.DeviceFaults++
+			case guardian.DiagSoftwareError:
+				stats.SoftwareErrors++
+			case guardian.DiagGaveUp:
+				stats.GaveUp++
+			}
+			if rep.Diagnosis != guardian.DiagGaveUp && rep.Final != nil && rep.Final.Err == nil {
+				if spec.Requirement.Check(golden.Output, rep.Final.Output) {
+					stats.FinalCorrect++
+				}
+			}
+			if rep.Executions > 1 {
+				stats.AlphaController.ObserveDiagnosis(rep.Diagnosis == guardian.DiagFalseAlarm, live)
+			}
+		}(inj)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return stats, nil
 }

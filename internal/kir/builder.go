@@ -131,3 +131,8 @@ func (b *Builder) If(cond Expr, then func(), els func()) {
 
 // Sync emits a barrier.
 func (b *Builder) Sync() { b.emit(Sync{}) }
+
+// Emit appends an arbitrary statement at the current position. It is how
+// callers place the Hauberk intrinsic statements (RangeCheck, FIProbe, ...)
+// that have no dedicated builder verb.
+func (b *Builder) Emit(s Stmt) { b.emit(s) }
