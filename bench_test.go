@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"runtime"
 	"testing"
 
 	"hauberk/internal/core/hrt"
@@ -26,25 +27,32 @@ import (
 
 func quickEnv() *harness.Env { return harness.NewEnv(harness.QuickScale()) }
 
-// benchEngines names the two execution engines compared by the baseline
-// throughput benchmarks: the bytecode engine (the default) and the
-// tree-walking interpreter it replaced (kept as fallback and oracle).
+// benchEngines names the execution configurations compared by the
+// baseline throughput benchmarks: the serial bytecode engine (the
+// default), the tree-walking interpreter it replaced (kept as fallback
+// and oracle), and the block-sharded parallel launch engine
+// (machine-sized worker pool; small launches fall back to serial, so on
+// single-core machines or sub-cutoff workloads the parallel rows match
+// the bytecode rows).
 var benchEngines = []struct {
-	name   string
-	interp gpu.Interpreter
+	name          string
+	interp        gpu.Interpreter
+	launchWorkers int
 }{
-	{"bytecode", gpu.InterpreterBytecode},
-	{"tree", gpu.InterpreterTree},
+	{"bytecode", gpu.InterpreterBytecode, 1},
+	{"tree", gpu.InterpreterTree, 1},
+	{"parallel", gpu.InterpreterBytecode, 0},
 }
 
 // baselineLaunch stages one workload on a fresh device with the given
-// engine and returns a closure that re-launches it, plus the (engine-
-// independent) simulated cycle count. Device construction and input
-// staging stay outside the measured region so the benchmark isolates
-// interpreter throughput.
-func baselineLaunch(tb testing.TB, spec *workloads.Spec, interp gpu.Interpreter) (func(), float64) {
+// engine and launch-worker setting and returns a closure that re-launches
+// it, plus the (engine-independent) simulated cycle count. Device
+// construction and input staging stay outside the measured region so the
+// benchmark isolates interpreter throughput.
+func baselineLaunch(tb testing.TB, spec *workloads.Spec, interp gpu.Interpreter, launchWorkers int) (func(), float64) {
 	cfg := gpu.DefaultConfig()
 	cfg.Interpreter = interp
+	cfg.LaunchWorkers = launchWorkers
 	d := gpu.New(cfg)
 	k := spec.Build()
 	inst := spec.Setup(d, workloads.Dataset{Index: 0})
@@ -74,7 +82,7 @@ func BenchmarkBaselineKernels(b *testing.B) {
 			for _, spec := range workloads.HPC() {
 				spec := spec
 				b.Run(spec.Name, func(b *testing.B) {
-					launch, cycles := baselineLaunch(b, spec, eng.interp)
+					launch, cycles := baselineLaunch(b, spec, eng.interp, eng.launchWorkers)
 					b.ReportMetric(cycles, "gpu-cycles")
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
@@ -573,8 +581,13 @@ func TestWriteObsBenchJSON(t *testing.T) {
 //	BENCH_PERF_JSON=BENCH_perf.json go test -run TestWritePerfBenchJSON .
 //
 // For each workload it records wall-clock ns/op, simulated GPU cycles,
-// and simulated-cycles-per-second of host time; the headline number is
-// the geometric-mean speedup of the bytecode engine over the tree walker.
+// and simulated-cycles-per-second of host time for the tree walker, the
+// serial bytecode engine, and the block-sharded parallel launch engine;
+// the headline numbers are the geometric-mean speedups of the bytecode
+// engine over the tree walker and of parallel over serial bytecode. The
+// report records the host core count and worker budget: on a single-core
+// machine (or for workloads below the parallel cutoff) the parallel
+// engine deliberately falls back to serial and its speedup is ~1.
 func TestWritePerfBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_PERF_JSON")
 	if path == "" {
@@ -585,14 +598,16 @@ func TestWritePerfBenchJSON(t *testing.T) {
 		CyclesPerSec float64 `json:"simulated_cycles_per_second"`
 	}
 	type workloadRow struct {
-		Program  string    `json:"program"`
-		Cycles   float64   `json:"gpu_cycles"`
-		Tree     engineRow `json:"tree"`
-		Bytecode engineRow `json:"bytecode"`
-		Speedup  float64   `json:"speedup"`
+		Program         string    `json:"program"`
+		Cycles          float64   `json:"gpu_cycles"`
+		Tree            engineRow `json:"tree"`
+		Bytecode        engineRow `json:"bytecode"`
+		Parallel        engineRow `json:"parallel"`
+		Speedup         float64   `json:"speedup"`
+		ParallelSpeedup float64   `json:"parallel_speedup"`
 	}
-	measure := func(spec *workloads.Spec, interp gpu.Interpreter) (testing.BenchmarkResult, float64) {
-		launch, cycles := baselineLaunch(t, spec, interp)
+	measure := func(spec *workloads.Spec, interp gpu.Interpreter, launchWorkers int) (testing.BenchmarkResult, float64) {
+		launch, cycles := baselineLaunch(t, spec, interp, launchWorkers)
 		res := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				launch()
@@ -601,30 +616,41 @@ func TestWritePerfBenchJSON(t *testing.T) {
 		return res, cycles
 	}
 	var rows []workloadRow
-	logSum := 0.0
+	logSum, logSumPar := 0.0, 0.0
 	for _, spec := range workloads.HPC() {
-		tree, cycles := measure(spec, gpu.InterpreterTree)
-		bc, _ := measure(spec, gpu.InterpreterBytecode)
+		tree, cycles := measure(spec, gpu.InterpreterTree, 1)
+		bc, _ := measure(spec, gpu.InterpreterBytecode, 1)
+		par, _ := measure(spec, gpu.InterpreterBytecode, 0)
 		row := workloadRow{
-			Program:  spec.Name,
-			Cycles:   cycles,
-			Tree:     engineRow{tree.NsPerOp(), cycles * 1e9 / float64(tree.NsPerOp())},
-			Bytecode: engineRow{bc.NsPerOp(), cycles * 1e9 / float64(bc.NsPerOp())},
-			Speedup:  float64(tree.NsPerOp()) / float64(bc.NsPerOp()),
+			Program:         spec.Name,
+			Cycles:          cycles,
+			Tree:            engineRow{tree.NsPerOp(), cycles * 1e9 / float64(tree.NsPerOp())},
+			Bytecode:        engineRow{bc.NsPerOp(), cycles * 1e9 / float64(bc.NsPerOp())},
+			Parallel:        engineRow{par.NsPerOp(), cycles * 1e9 / float64(par.NsPerOp())},
+			Speedup:         float64(tree.NsPerOp()) / float64(bc.NsPerOp()),
+			ParallelSpeedup: float64(bc.NsPerOp()) / float64(par.NsPerOp()),
 		}
 		logSum += math.Log(row.Speedup)
+		logSumPar += math.Log(row.ParallelSpeedup)
 		rows = append(rows, row)
-		t.Logf("%-8s tree %d ns/op, bytecode %d ns/op (%.2fx)",
-			spec.Name, row.Tree.NsPerOp, row.Bytecode.NsPerOp, row.Speedup)
+		t.Logf("%-8s tree %d ns/op, bytecode %d ns/op (%.2fx), parallel %d ns/op (%.2fx over serial)",
+			spec.Name, row.Tree.NsPerOp, row.Bytecode.NsPerOp, row.Speedup,
+			row.Parallel.NsPerOp, row.ParallelSpeedup)
 	}
 	report := struct {
-		Benchmark      string        `json:"benchmark"`
-		Workloads      []workloadRow `json:"workloads"`
-		GeomeanSpeedup float64       `json:"geomean_speedup"`
+		Benchmark              string        `json:"benchmark"`
+		HostCores              int           `json:"host_cores"`
+		WorkerBudget           int           `json:"worker_budget"`
+		Workloads              []workloadRow `json:"workloads"`
+		GeomeanSpeedup         float64       `json:"geomean_speedup"`
+		GeomeanParallelSpeedup float64       `json:"geomean_parallel_speedup"`
 	}{
-		Benchmark:      "BenchmarkBaselineKernels: tree walker vs bytecode engine",
-		Workloads:      rows,
-		GeomeanSpeedup: math.Exp(logSum / float64(len(rows))),
+		Benchmark:              "BenchmarkBaselineKernels: tree walker vs serial vs parallel bytecode engine",
+		HostCores:              runtime.NumCPU(),
+		WorkerBudget:           gpu.LaunchBudget(),
+		Workloads:              rows,
+		GeomeanSpeedup:         math.Exp(logSum / float64(len(rows))),
+		GeomeanParallelSpeedup: math.Exp(logSumPar / float64(len(rows))),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -633,7 +659,8 @@ func TestWritePerfBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: geomean speedup %.2fx", path, report.GeomeanSpeedup)
+	t.Logf("wrote %s: geomean speedup %.2fx (tree->bytecode), %.2fx (serial->parallel on %d cores)",
+		path, report.GeomeanSpeedup, report.GeomeanParallelSpeedup, report.HostCores)
 }
 
 // BenchmarkRecoveryCampaign drives injections through the full Figure 11

@@ -18,6 +18,13 @@
 // -engine selects the kernel execution engine: the compiled bytecode
 // engine (default) or the tree-walking interpreter it replaced.
 //
+// -workers sizes campaign/profiling parallelism and -launch-workers the
+// per-launch block-shard pool of the bytecode engine; both draw extra
+// goroutines from one process-wide budget (default NumCPU-1, override
+// with -worker-budget) so nested parallelism never oversubscribes the
+// machine. Parallel launches are bit-identical to serial ones, so these
+// are pure throughput knobs.
+//
 // The exit code encodes the guardian's final diagnosis so scripts can
 // branch on the outcome: 0 for an accepted output (clean, recovered
 // transient, learned false alarm), 3 device-fault, 4 software-error,
@@ -57,8 +64,14 @@ func run() int {
 		tracePath   = flag.String("trace", "", "write a JSONL telemetry event journal to this file")
 		metricsPath = flag.String("metrics", "", "dump Prometheus-text metrics to this file at exit")
 		engine      = flag.String("engine", "bytecode", "kernel execution engine: bytecode or tree")
+		workers     = flag.Int("workers", 0, "campaign/profiling worker goroutines (0 = one per CPU, shared with -launch-workers)")
+		launchWork  = flag.Int("launch-workers", 0, "per-launch block-shard workers (0 = machine-sized, 1 = serial, >1 = explicit; bytecode engine only)")
+		budget      = flag.Int("worker-budget", -1, "process-wide extra-worker budget shared by campaign and launch parallelism (-1 = NumCPU-1)")
 	)
 	flag.Parse()
+	if *budget >= 0 {
+		gpu.SetLaunchBudget(*budget)
+	}
 
 	spec := workloads.ByName(*program)
 	if spec == nil {
@@ -124,6 +137,8 @@ func run() int {
 
 	env := harness.NewEnv(harness.QuickScale()).WithObs(tel)
 	env.Config.Interpreter = interp
+	env.Config.LaunchWorkers = *launchWork
+	env.Scale.Workers = *workers
 	ds := workloads.Dataset{Index: *dataset}
 
 	// The FT library loads profiled value ranges from a file at the entry
@@ -175,7 +190,7 @@ func run() int {
 	// with a known output. A persistent fault lives in device 0's
 	// hardware, so the self test fails there and the recovery engine
 	// migrates the program.
-	devPool := makeDevices(*devices, interp)
+	devPool := makeDevices(*devices, interp, *launchWork)
 	faulty := devPool[0]
 	selfTest := func(d *gpu.Device) bool {
 		if *persistent && d == faulty {
@@ -271,9 +286,10 @@ func run() int {
 	return rep.Diagnosis.ExitCode()
 }
 
-func makeDevices(n int, interp gpu.Interpreter) []*gpu.Device {
+func makeDevices(n int, interp gpu.Interpreter, launchWorkers int) []*gpu.Device {
 	cfg := gpu.DefaultConfig()
 	cfg.Interpreter = interp
+	cfg.LaunchWorkers = launchWorkers
 	out := make([]*gpu.Device, n)
 	for i := range out {
 		out[i] = gpu.New(cfg)

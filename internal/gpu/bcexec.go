@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"math"
+	"sync/atomic"
 
 	"hauberk/internal/kir"
 )
@@ -12,33 +13,50 @@ import (
 // flat dispatch in (*bcThread).run.
 func (d *Device) launchBytecode(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
 	p, hit := programFor(k, d.cfg)
+	workers, extra, mode := d.launchPlan(&spec)
 	if spec.Obs.Enabled() {
 		result := "miss"
 		if hit {
 			result = "hit"
 		}
-		spec.Obs.Metrics().Counter("hauberk_program_cache_total",
+		m := spec.Obs.Metrics()
+		m.Counter("hauberk_program_cache_total",
 			"kernel", k.Name, "result", result).Inc()
+		m.Help("hauberk_launch_modes_total",
+			"launch scheduling decisions: parallel block sharding vs serial fallbacks")
+		m.Counter("hauberk_launch_modes_total", "kernel", k.Name, "mode", mode).Inc()
+		if workers > 1 {
+			m.Help("hauberk_launch_shard_workers_total",
+				"worker goroutines used by parallel launches, summed")
+			m.Counter("hauberk_launch_shard_workers_total", "kernel", k.Name).Add(int64(workers))
+		}
+	}
+	if workers > 1 {
+		defer ReleaseLaunchSlots(extra)
+		return d.launchParallel(k, spec, p, workers)
 	}
 
 	res := &Result{Threads: spec.Grid * spec.Block, MaxLive: p.maxLive, Spill: p.spillExtra > 0}
 	warp := d.cfg.WarpSize
 	var sumWarpCycles, sumThreadCycles, sumLoopCycles float64
 
-	// One register file for the whole launch: variable slots are cleared
-	// per thread, the constant pool is loaded once, and temporaries are
-	// written before they are read within each straight-line segment.
-	regs := make([]uint32, p.nslots)
-	copy(regs[p.nv:], p.consts)
+	// One pooled register file for the whole launch: variable slots are
+	// cleared per thread, the constant pool is loaded at slice creation
+	// (and stays valid across reuses — temporaries never alias constant
+	// slots), and temporaries are written before they are read within
+	// each straight-line segment.
+	regsRef := p.getRegs()
+	defer p.putRegs(regsRef)
 
 	t := bcThread{
 		d:      d,
 		p:      p,
 		spec:   &spec,
 		hooks:  spec.Hooks,
-		regs:   regs,
+		regs:   *regsRef,
 		budget: d.cfg.StepBudget,
 	}
+	regs := t.regs
 	// In GPU mode any address below the virtual limit is a valid access, so
 	// the dispatch loop can skip the (non-inlinable) checkAccess call on the
 	// fast path. CPU mode keeps the limit at zero: every access goes through
@@ -92,6 +110,10 @@ type bcThread struct {
 	regs      []uint32
 	budget    int
 	fastLimit uint32 // addresses below it never fail checkAccess
+	// shared marks a thread running on a parallel block shard: arena
+	// words are then accessed atomically, because other shards execute
+	// concurrently on the same device memory (see sched.go).
+	shared bool
 
 	cycles     float64
 	loopCycles float64
@@ -115,6 +137,7 @@ func (t *bcThread) run() error {
 	arena := d.arena
 	fault := d.fault
 	fastLimit := t.fastLimit
+	shared := t.shared
 	var cycles, loopCycles float64
 	var steps int
 	var loads, stores int64
@@ -188,7 +211,11 @@ loop:
 			loads++
 			var val uint32
 			if int(addr) < len(arena) {
-				val = arena[addr]
+				if shared {
+					val = atomic.LoadUint32(&arena[addr])
+				} else {
+					val = arena[addr]
+				}
 			}
 			if fault != nil {
 				val = fault(addr, val)
@@ -207,7 +234,11 @@ loop:
 			loopCycles += in.costLoop
 			stores++
 			if int(addr) < len(arena) {
-				arena[addr] = regs[in.c]
+				if shared {
+					atomic.StoreUint32(&arena[addr], regs[in.c])
+				} else {
+					arena[addr] = regs[in.c]
+				}
 			}
 
 		// Integer ALU. Costs are charged before the operation, matching the

@@ -167,7 +167,28 @@ type program struct {
 
 	crashMsgs []string
 	regions   []errRegion
+
+	// regPool recycles register files across launches and shard workers.
+	// Pooling per program keys the pool by exactly the register-file
+	// size (nslots) and lets reused slices keep their constant pool
+	// loaded: variable slots are cleared per thread and temporaries
+	// never alias constant slots, so only a fresh slice pays the copy.
+	regPool sync.Pool
 }
+
+// getRegs returns a ready register file for this program: nslots words
+// with the constant pool in place. Return it with putRegs.
+func (p *program) getRegs() *[]uint32 {
+	if v := p.regPool.Get(); v != nil {
+		return v.(*[]uint32)
+	}
+	regs := make([]uint32, p.nslots)
+	copy(regs[p.nv:], p.consts)
+	return &regs
+}
+
+// putRegs recycles a register file obtained from getRegs.
+func (p *program) putRegs(r *[]uint32) { p.regPool.Put(r) }
 
 // progKey identifies a compiled program: the kernel (kernels are read-only
 // at launch time, so pointer identity is sound) plus everything the cost

@@ -81,6 +81,14 @@ type Config struct {
 	// Interpreter picks the execution engine; the zero value is the
 	// compiled bytecode engine.
 	Interpreter Interpreter
+	// LaunchWorkers bounds the per-launch block-shard worker pool of the
+	// bytecode engine (see sched.go). Zero means machine-sized: one
+	// worker plus as many extra slots as the shared launch budget
+	// grants; 1 forces serial execution; values > 1 request that many
+	// workers (still capped by the grid size and the shared budget) and
+	// bypass the small-launch cutoff. Parallel and serial launches are
+	// bit-identical, so this is purely a throughput knob.
+	LaunchWorkers int
 }
 
 // DefaultConfig returns a GT200-like device: 30 SMs, 32-wide warps, 20
@@ -122,6 +130,10 @@ type Device struct {
 	// fault is an optional memory-fault overlay used to emulate
 	// intermittent memory faults (Section II, Figure 3); see SetMemFault.
 	fault func(addr uint32, val uint32) uint32
+
+	// sched holds the parallel launch engine's reusable shard buffers
+	// (lazily created; see sched.go).
+	sched *launchSched
 }
 
 // New creates a device with the given configuration.

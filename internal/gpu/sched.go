@@ -1,0 +1,449 @@
+package gpu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hauberk/internal/kir"
+)
+
+// This file is the parallel SIMT launch engine: it shards a launch's
+// blocks across a worker pool and reduces the per-block results in
+// deterministic block order, so a parallel launch is bit-identical to the
+// serial bytecode engine — same outputs, same float64 cycle accumulation,
+// same hook call sequence, same crash/hang classification.
+//
+// The design leans on the CUDA execution model the simulator reproduces:
+// thread blocks are independent (no inter-block synchronization or
+// ordering guarantees), so blocks may execute concurrently as long as
+//
+//  1. device-memory words are accessed atomically (the arena is shared;
+//     well-formed kernels write disjoint words per block, and racing
+//     writes are undefined behaviour on real GPUs too — see DESIGN.md §5
+//     for the memory-model assumptions),
+//  2. cycle accounting is *reduced* in serial (block, thread) order —
+//     float64 addition is not associative, so workers record per-thread
+//     samples and the reducer re-folds them exactly as the serial loop
+//     would,
+//  3. hook callbacks are buffered per block and replayed in block order
+//     after the shards complete, so checksum/range detectors observe the
+//     identical sequence (only hooks that declare themselves pure
+//     observers are eligible; a fault injector's Probe feeds values back
+//     into the kernel and forces the serial path), and
+//  4. the reported failure is the first failing (block, thread) in serial
+//     order, not the first in wall-clock order.
+//
+// Launches fall back to serial execution when a SetMemFault overlay is
+// installed (SWIFI semantics depend on serial evaluation order), when the
+// hooks may mutate kernel state, when the launch is too small to amortize
+// the fan-out (e.g. RPES kernels run ~330 simulated cycles), or when the
+// process-wide worker budget is exhausted.
+
+// HookObserver is an optional capability interface for Hooks
+// implementations. A Hooks value that implements it and returns true
+// declares that it only observes the launch: Probe always returns
+// (val, false) and no callback feeds values back into the kernel. Only
+// pure-observer hooks are eligible for parallel block execution (their
+// callbacks are buffered per block and replayed in deterministic block
+// order after the shards complete); any other non-nil Hooks forces the
+// serial engine.
+type HookObserver interface {
+	PureObserverHooks() bool
+}
+
+// HooksArePure reports whether h is safe for buffered-and-replayed hook
+// delivery: nil hooks trivially are; otherwise h must declare the
+// capability itself. Unknown implementations are conservatively treated
+// as mutating.
+func HooksArePure(h Hooks) bool {
+	if h == nil {
+		return true
+	}
+	if o, ok := h.(HookObserver); ok {
+		return o.PureObserverHooks()
+	}
+	return false
+}
+
+// --- process-wide worker budget -----------------------------------------
+
+// launchSlots is the shared parallelism budget: the total number of
+// *extra* worker goroutines (beyond their callers) that may run
+// concurrently across campaign workers and launch shards. Sharing one
+// budget keeps nested parallelism — a parallel campaign whose injections
+// each launch a parallel kernel — from oversubscribing the machine.
+var launchSlots struct {
+	capacity atomic.Int64
+	used     atomic.Int64
+}
+
+func init() {
+	launchSlots.capacity.Store(int64(runtime.NumCPU() - 1))
+}
+
+// SetLaunchBudget sets the process-wide number of extra worker slots
+// (negative values clamp to zero). The default is NumCPU-1: one slot per
+// core beyond the caller's. Raising it past the core count oversubscribes
+// deliberately; tests use it to force parallel execution on small
+// machines.
+func SetLaunchBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	launchSlots.capacity.Store(int64(n))
+}
+
+// LaunchBudget returns the configured budget (total extra slots, not
+// currently free ones).
+func LaunchBudget() int { return int(launchSlots.capacity.Load()) }
+
+// AcquireLaunchSlots reserves up to want extra worker slots without
+// blocking and returns how many were granted (possibly zero). Callers
+// must return them with ReleaseLaunchSlots.
+func AcquireLaunchSlots(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		capacity := launchSlots.capacity.Load()
+		used := launchSlots.used.Load()
+		free := capacity - used
+		if free <= 0 {
+			return 0
+		}
+		n := int64(want)
+		if n > free {
+			n = free
+		}
+		if launchSlots.used.CompareAndSwap(used, used+n) {
+			return int(n)
+		}
+	}
+}
+
+// ReleaseLaunchSlots returns n slots acquired with AcquireLaunchSlots.
+func ReleaseLaunchSlots(n int) {
+	if n > 0 {
+		launchSlots.used.Add(-int64(n))
+	}
+}
+
+// minParallelThreads is the default small-launch cutoff: below it the
+// fan-out (goroutine handoff, shard buffers, ordered reduction) is not
+// worth amortizing and the launch stays serial. An explicit
+// Config.LaunchWorkers > 1 bypasses the cutoff.
+const minParallelThreads = 256
+
+// launchPlan decides the execution strategy for one validated bytecode
+// launch. It returns the worker count (1 = serial), how many budget slots
+// were acquired (the caller must release them), and the mode label for
+// the hauberk_launch_modes_total metric.
+func (d *Device) launchPlan(spec *LaunchSpec) (workers, extra int, mode string) {
+	switch {
+	case d.cfg.LaunchWorkers == 1:
+		return 1, 0, "serial-config"
+	case d.fault != nil:
+		// SetMemFault overlays model value-dependent intermittent faults;
+		// their observation order must match serial execution.
+		return 1, 0, "serial-fault"
+	case spec.Hooks != nil && !HooksArePure(spec.Hooks):
+		// A mutating Probe (fault injector) needs live, serial-order
+		// delivery; buffered replay cannot feed values back.
+		return 1, 0, "serial-hooks"
+	case spec.Grid < 2:
+		return 1, 0, "serial-small"
+	case d.cfg.LaunchWorkers <= 0 && spec.Grid*spec.Block < minParallelThreads:
+		return 1, 0, "serial-small"
+	}
+	req := d.cfg.LaunchWorkers
+	if req <= 0 {
+		req = LaunchBudget() + 1
+	}
+	if req > spec.Grid {
+		req = spec.Grid
+	}
+	if req <= 1 {
+		return 1, 0, "serial-budget"
+	}
+	extra = AcquireLaunchSlots(req - 1)
+	if extra == 0 {
+		return 1, 0, "serial-budget"
+	}
+	return 1 + extra, extra, "parallel"
+}
+
+// --- per-block shard state ------------------------------------------------
+
+// threadSample is one thread's contribution to the launch accounting, in
+// the exact values the serial loop would have accumulated.
+type threadSample struct {
+	cycles     float64
+	loopCycles float64
+	loads      int64
+	stores     int64
+}
+
+// blockRun is the recorded outcome of one block shard.
+type blockRun struct {
+	samples []threadSample // per-thread, sub-slice of launchSched.samples
+	n       int            // threads actually executed (err stops the block)
+	err     error
+	rec     *hookRecorder // nil when the launch has no hooks
+}
+
+// launchSched is the per-device scheduler state, reused across launches
+// so steady-state parallel launches allocate O(workers), not O(threads).
+// A Device is not safe for concurrent launches, so no locking is needed.
+type launchSched struct {
+	samples []threadSample
+	runs    []blockRun
+	recs    []hookRecorder
+}
+
+// stage sizes the shard buffers for a grid×block launch.
+func (sc *launchSched) stage(grid, block int, record bool) {
+	need := grid * block
+	if cap(sc.samples) < need {
+		sc.samples = make([]threadSample, need)
+	}
+	sc.samples = sc.samples[:need]
+	if cap(sc.runs) < grid {
+		sc.runs = make([]blockRun, grid)
+	}
+	sc.runs = sc.runs[:grid]
+	if record {
+		if cap(sc.recs) < grid {
+			sc.recs = make([]hookRecorder, grid)
+		}
+		sc.recs = sc.recs[:grid]
+	}
+	for b := 0; b < grid; b++ {
+		br := &sc.runs[b]
+		br.samples = sc.samples[b*block : (b+1)*block]
+		br.n = 0
+		br.err = nil
+		br.rec = nil
+		if record {
+			rec := &sc.recs[b]
+			rec.events = rec.events[:0]
+			br.rec = rec
+		}
+	}
+}
+
+// launchParallel executes a validated launch by sharding blocks over
+// workers goroutines (including the calling one) and reducing the results
+// in deterministic block order. Eligibility was established by
+// launchPlan: no memory-fault overlay, pure-observer hooks only.
+func (d *Device) launchParallel(k *kir.Kernel, spec LaunchSpec, p *program, workers int) (*Result, error) {
+	if d.sched == nil {
+		d.sched = &launchSched{}
+	}
+	sc := d.sched
+	record := spec.Hooks != nil
+	sc.stage(spec.Grid, spec.Block, record)
+
+	var (
+		nextBlk atomic.Int64
+		failBlk atomic.Int64 // minimum failing block index; Grid = none
+		wg      sync.WaitGroup
+	)
+	failBlk.Store(int64(spec.Grid))
+
+	shard := func() {
+		t := bcThread{
+			d:      d,
+			p:      p,
+			spec:   &spec,
+			budget: d.cfg.StepBudget,
+			shared: true,
+		}
+		if d.cfg.Mode == ModeGPU {
+			t.fastLimit = VirtualWords
+		}
+		regs := p.getRegs()
+		t.regs = *regs
+		for {
+			blk := int(nextBlk.Add(1)) - 1
+			if blk >= spec.Grid || int64(blk) > failBlk.Load() {
+				break
+			}
+			d.runBlockShard(&t, k, blk, &sc.runs[blk], &failBlk)
+		}
+		p.putRegs(regs)
+	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			shard()
+		}()
+	}
+	shard() // the caller is worker 0
+	wg.Wait()
+
+	// Deterministic reduction: re-fold the recorded per-thread samples in
+	// the exact order (and with the exact float64 accumulator sequence)
+	// of the serial loop in launchBytecode, replaying buffered hook calls
+	// block by block, and stop at the first failing block.
+	res := &Result{Threads: spec.Grid * spec.Block, MaxLive: p.maxLive, Spill: p.spillExtra > 0}
+	warp := d.cfg.WarpSize
+	var sumWarpCycles, sumThreadCycles, sumLoopCycles float64
+	for blk := 0; blk < spec.Grid; blk++ {
+		br := &sc.runs[blk]
+		var warpMax float64
+		for tid := 0; tid < br.n; tid++ {
+			s := &br.samples[tid]
+			sumThreadCycles += s.cycles
+			sumLoopCycles += s.loopCycles
+			if s.cycles > warpMax {
+				warpMax = s.cycles
+			}
+			if (tid+1)%warp == 0 || tid == spec.Block-1 {
+				sumWarpCycles += warpMax
+				warpMax = 0
+			}
+			res.Loads += s.loads
+			res.Stores += s.stores
+		}
+		if record {
+			br.rec.replay(spec.Hooks)
+		}
+		if br.err != nil {
+			finishResult(res, d, sumWarpCycles, sumThreadCycles, sumLoopCycles)
+			return res, br.err
+		}
+	}
+	finishResult(res, d, sumWarpCycles, sumThreadCycles, sumLoopCycles)
+	return res, nil
+}
+
+// runBlockShard executes every thread of one block serially on t,
+// recording per-thread samples and buffering hook callbacks. On the first
+// thread error it lowers the shared minimum-failing-block watermark so
+// other workers stop claiming (and abandon) later blocks; blocks at or
+// below the watermark always complete, which is what the ordered reducer
+// needs.
+func (d *Device) runBlockShard(t *bcThread, k *kir.Kernel, blk int, br *blockRun, failBlk *atomic.Int64) {
+	spec := t.spec
+	p := t.p
+	regs := t.regs
+	if br.rec != nil {
+		t.hooks = br.rec
+	}
+	for tid := 0; tid < spec.Block; tid++ {
+		if int64(blk) > failBlk.Load() {
+			// An earlier block already failed; this block's results can
+			// never be reduced. Abandon it mid-flight.
+			br.n = 0
+			br.err = nil
+			return
+		}
+		clear(regs[:p.nv])
+		for i, par := range k.Params {
+			if par.Type == kir.Ptr {
+				regs[par.ID] = spec.Args[i].Buf.Off
+			} else {
+				regs[par.ID] = spec.Args[i].Scalar
+			}
+		}
+		t.tc = ThreadCtx{Block: blk, Thread: tid}
+		err := t.run()
+		br.samples[tid] = threadSample{t.cycles, t.loopCycles, t.loads, t.stores}
+		br.n = tid + 1
+		if err != nil {
+			br.err = err
+			for cur := failBlk.Load(); int64(blk) < cur; cur = failBlk.Load() {
+				if failBlk.CompareAndSwap(cur, int64(blk)) {
+					break
+				}
+			}
+			return
+		}
+	}
+}
+
+// --- buffered hook delivery ----------------------------------------------
+
+// hookKind discriminates recorded hook events.
+type hookKind uint8
+
+const (
+	hkProbe hookKind = iota
+	hkCountExec
+	hkRangeCheck
+	hkEqualCheck
+	hkProfileSample
+	hkSetSDC
+)
+
+// recEvent is one buffered hook callback with every argument the kernel
+// handed the runtime.
+type recEvent struct {
+	kind hookKind
+	tc   ThreadCtx
+	a    int // site or detector
+	hw   kir.HW
+	v    *kir.Var
+	val  uint32
+	f64  float64
+	i32a int32
+	i32b int32
+	dk   kir.DetectKind
+}
+
+// hookRecorder buffers a block shard's hook callbacks for in-order replay
+// by the reducer. Probe returns the value unchanged — eligibility for the
+// parallel engine requires pure-observer hooks (HooksArePure).
+type hookRecorder struct {
+	events []recEvent
+}
+
+var _ Hooks = (*hookRecorder)(nil)
+
+func (r *hookRecorder) Probe(tc ThreadCtx, site int, v *kir.Var, hw kir.HW, val uint32) (uint32, bool) {
+	r.events = append(r.events, recEvent{kind: hkProbe, tc: tc, a: site, v: v, hw: hw, val: val})
+	return val, false
+}
+
+func (r *hookRecorder) CountExec(tc ThreadCtx, site int) {
+	r.events = append(r.events, recEvent{kind: hkCountExec, tc: tc, a: site})
+}
+
+func (r *hookRecorder) RangeCheck(tc ThreadCtx, det int, val float64) {
+	r.events = append(r.events, recEvent{kind: hkRangeCheck, tc: tc, a: det, f64: val})
+}
+
+func (r *hookRecorder) EqualCheck(tc ThreadCtx, det int, count, expected int32) {
+	r.events = append(r.events, recEvent{kind: hkEqualCheck, tc: tc, a: det, i32a: count, i32b: expected})
+}
+
+func (r *hookRecorder) ProfileSample(tc ThreadCtx, det int, val float64) {
+	r.events = append(r.events, recEvent{kind: hkProfileSample, tc: tc, a: det, f64: val})
+}
+
+func (r *hookRecorder) SetSDC(tc ThreadCtx, det int, kind kir.DetectKind) {
+	r.events = append(r.events, recEvent{kind: hkSetSDC, tc: tc, a: det, dk: kind})
+}
+
+// replay delivers the buffered callbacks to h in recorded order.
+func (r *hookRecorder) replay(h Hooks) {
+	for i := range r.events {
+		e := &r.events[i]
+		switch e.kind {
+		case hkProbe:
+			h.Probe(e.tc, e.a, e.v, e.hw, e.val)
+		case hkCountExec:
+			h.CountExec(e.tc, e.a)
+		case hkRangeCheck:
+			h.RangeCheck(e.tc, e.a, e.f64)
+		case hkEqualCheck:
+			h.EqualCheck(e.tc, e.a, e.i32a, e.i32b)
+		case hkProfileSample:
+			h.ProfileSample(e.tc, e.a, e.f64)
+		case hkSetSDC:
+			h.SetSDC(e.tc, e.a, e.dk)
+		}
+	}
+}

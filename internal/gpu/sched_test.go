@@ -1,0 +1,454 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"hauberk/internal/kir"
+)
+
+// pureRecHooks is bcRecHooks plus the pure-observer capability, which makes
+// recorded-hook launches eligible for the parallel block-sharded engine.
+type pureRecHooks struct{ bcRecHooks }
+
+func (h *pureRecHooks) PureObserverHooks() bool { return true }
+
+// forceBudget overrides the process-wide launch budget for one test (the
+// container the suite runs on may have a single CPU, where the default
+// budget is zero and every launch would fall back to serial).
+func forceBudget(t *testing.T, n int) {
+	t.Helper()
+	old := LaunchBudget()
+	SetLaunchBudget(n)
+	t.Cleanup(func() { SetLaunchBudget(old) })
+}
+
+// runSched executes one crafted kernel under the bytecode engine with the
+// given LaunchWorkers setting and returns every observable.
+func runSched(t *testing.T, tc diffCase, launchWorkers int) (res *Result, err error, arenas [][]uint32, log []string) {
+	t.Helper()
+	b := kir.NewBuilder("sched")
+	tc.build(b)
+	k := b.Kernel()
+	cfg := tc.cfg
+	cfg.Interpreter = InterpreterBytecode
+	cfg.LaunchWorkers = launchWorkers
+	d := New(cfg)
+	if tc.setup == nil {
+		tc.setup = defaultDiffSetup
+	}
+	args := tc.setup(d, k)
+	hooks := &pureRecHooks{}
+	res, err = d.Launch(k, LaunchSpec{Grid: tc.grid, Block: tc.block, Args: args, Hooks: hooks})
+	for _, buf := range d.Buffers() {
+		arenas = append(arenas, d.ReadWords(buf))
+	}
+	return res, err, arenas, hooks.log
+}
+
+// assertParallelPlan fails the test unless a launch shaped like tc would
+// actually take the parallel path under the current budget.
+func assertParallelPlan(t *testing.T, tc diffCase, launchWorkers int) {
+	t.Helper()
+	cfg := tc.cfg
+	cfg.Interpreter = InterpreterBytecode
+	cfg.LaunchWorkers = launchWorkers
+	d := New(cfg)
+	spec := LaunchSpec{Grid: tc.grid, Block: tc.block, Hooks: &pureRecHooks{}}
+	workers, extra, mode := d.launchPlan(&spec)
+	ReleaseLaunchSlots(extra)
+	if mode != "parallel" || workers < 2 {
+		t.Fatalf("launch plan = %d workers, mode %q; want the parallel path", workers, mode)
+	}
+}
+
+// diffSchedCase runs tc serially and in parallel and requires bit-identical
+// results. compareArenas is disabled for crash cases: a parallel launch may
+// have speculatively executed blocks after the failing one, so post-crash
+// device memory is explicitly indeterminate (DESIGN.md §5); everything
+// else — error classification and position, cycle bits, memory traffic,
+// hook sequence — must still match exactly.
+func diffSchedCase(t *testing.T, tc diffCase, launchWorkers int, compareArenas bool) {
+	t.Helper()
+	assertParallelPlan(t, tc, launchWorkers)
+	sRes, sErr, sArenas, sLog := runSched(t, tc, 1)
+	pRes, pErr, pArenas, pLog := runSched(t, tc, launchWorkers)
+
+	if fmt.Sprint(sErr) != fmt.Sprint(pErr) {
+		t.Fatalf("error mismatch:\n  serial:   %v\n  parallel: %v", sErr, pErr)
+	}
+	if sErr != nil && reflect.TypeOf(sErr) != reflect.TypeOf(pErr) {
+		t.Fatalf("error type mismatch: serial %T, parallel %T", sErr, pErr)
+	}
+	if math.Float64bits(sRes.Cycles) != math.Float64bits(pRes.Cycles) ||
+		math.Float64bits(sRes.LoopCycles) != math.Float64bits(pRes.LoopCycles) ||
+		math.Float64bits(sRes.NonLoopCycles) != math.Float64bits(pRes.NonLoopCycles) {
+		t.Fatalf("cycles not bit-identical:\n  serial:   %+v\n  parallel: %+v", sRes, pRes)
+	}
+	if sRes.Loads != pRes.Loads || sRes.Stores != pRes.Stores ||
+		sRes.MaxLive != pRes.MaxLive || sRes.Spill != pRes.Spill || sRes.Threads != pRes.Threads {
+		t.Fatalf("result metadata mismatch:\n  serial:   %+v\n  parallel: %+v", sRes, pRes)
+	}
+	if compareArenas && !reflect.DeepEqual(sArenas, pArenas) {
+		t.Fatalf("buffer contents differ between serial and parallel runs")
+	}
+	if !reflect.DeepEqual(sLog, pLog) {
+		t.Fatalf("hook sequences differ:\n  serial:   %v\n  parallel: %v", sLog, pLog)
+	}
+}
+
+// bigDiffSetup sizes every pointer buffer for one word per launched thread.
+func bigDiffSetup(grid, block int) func(d *Device, k *kir.Kernel) []Arg {
+	return func(d *Device, k *kir.Kernel) []Arg {
+		args := make([]Arg, len(k.Params))
+		for i, p := range k.Params {
+			if p.Type == kir.Ptr {
+				args[i] = BufArg(d.Alloc(p.Name, p.Elem, grid*block))
+			} else {
+				args[i] = U32Arg(uint32(i + 1))
+			}
+		}
+		return args
+	}
+}
+
+func TestParallelSerialIdentical(t *testing.T) {
+	forceBudget(t, 8)
+	spillCfg := DefaultConfig()
+	spillCfg.RegsPerThread = 4
+	cases := map[string]diffCase{
+		// Loops, FP accumulation, and one store per thread across 512
+		// threads: the bread-and-butter shape of the benchmark kernels.
+		"compute": {cfg: DefaultConfig(), grid: 8, block: 64,
+			setup: bigDiffSetup(8, 64),
+			build: func(b *kir.Builder) {
+				out := b.PtrParam("out", kir.F32)
+				acc := b.Def("acc", kir.F(0))
+				b.For("i", kir.I(0), kir.I(8), func(i *kir.Var) {
+					b.Accum(acc, kir.XMul(kir.ToF32(kir.XAdd(kir.GlobalID(), kir.V(i))), kir.F(1.5)))
+				})
+				b.Store(out, kir.GlobalID(), kir.XSqrt(kir.XAbs(kir.V(acc))))
+			}},
+		// 33 threads per block straddles a warp boundary, so the reducer's
+		// partial-warp max handling is on the line; blocks also read words
+		// written by their own earlier... no — each thread stays in its own
+		// word, as the block-independence model requires.
+		"warp-straddle": {cfg: DefaultConfig(), grid: 5, block: 33,
+			setup: bigDiffSetup(5, 33),
+			build: func(b *kir.Builder) {
+				out := b.PtrParam("out", kir.U32)
+				acc := b.Def("acc", kir.U(0))
+				b.For("i", kir.I(0), kir.XAdd(kir.TID(), kir.I(1)), func(i *kir.Var) {
+					b.Set(acc, kir.XXor(kir.XAdd(kir.V(acc), kir.AsU32(kir.V(i))), kir.U(0x9e3779b9)))
+				})
+				b.Store(out, kir.GlobalID(), kir.V(acc))
+			}},
+		// Divergent per-thread trip counts make block runtimes uneven, so
+		// shard workers finish blocks far out of serial order.
+		"uneven-blocks": {cfg: DefaultConfig(), grid: 16, block: 16,
+			setup: bigDiffSetup(16, 16),
+			build: func(b *kir.Builder) {
+				out := b.PtrParam("out", kir.F32)
+				acc := b.Def("acc", kir.F(1))
+				b.For("i", kir.I(0), kir.XMul(kir.BID(), kir.I(7)), func(i *kir.Var) {
+					b.Set(acc, kir.XAdd(kir.XMul(kir.V(acc), kir.F(1.0001)), kir.XSin(kir.ToF32(kir.V(i)))))
+				})
+				b.Store(out, kir.GlobalID(), kir.V(acc))
+			}},
+		// Spill charges fold into the per-thread cycle samples.
+		"spill": {cfg: spillCfg, grid: 4, block: 32,
+			setup: bigDiffSetup(4, 32),
+			build: func(b *kir.Builder) {
+				out := b.PtrParam("out", kir.F32)
+				a := b.Def("a", kir.ToF32(kir.GlobalID()))
+				c := b.Def("c", kir.XMul(kir.V(a), kir.F(2)))
+				d := b.Def("d", kir.XAdd(kir.V(a), kir.V(c)))
+				e := b.Def("e", kir.XSub(kir.V(d), kir.V(c)))
+				f := b.Def("f", kir.XSqrt(kir.XAbs(kir.V(e))))
+				b.Store(out, kir.GlobalID(), kir.XAdd(kir.V(f), kir.XMin(kir.V(d), kir.V(e))))
+			}},
+		// Every intrinsic hook kind fires; the buffered recorders must
+		// replay the exact serial (block, thread) sequence.
+		"hook-replay": {cfg: DefaultConfig(), grid: 4, block: 16,
+			setup: bigDiffSetup(4, 16),
+			build: func(b *kir.Builder) {
+				out := b.PtrParam("out", kir.F32)
+				acc := b.Def("acc", kir.F(0))
+				cnt := b.Def("cnt", kir.I(0))
+				b.For("i", kir.I(0), kir.I(5), func(i *kir.Var) {
+					b.Accum(acc, kir.ToF32(kir.XAdd(kir.V(i), kir.TID())))
+					b.Set(cnt, kir.XAdd(kir.V(cnt), kir.I(1)))
+				})
+				b.Emit(kir.RangeCheck{Detector: 0, Accum: acc, Count: cnt})
+				b.Emit(kir.EqualCheck{Detector: 1, Count: cnt, Expected: kir.I(5)})
+				b.Emit(kir.ProfileSample{Detector: 0, Accum: acc, Count: cnt})
+				b.Emit(kir.CountExec{Site: 2})
+				b.Emit(kir.FIProbe{Site: 1, Target: acc, HW: kir.HWFPU})
+				b.Emit(kir.SetSDC{Detector: 0, Kind: kir.DetectChecksum})
+				b.Store(out, kir.GlobalID(), kir.V(acc))
+			}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			// Workers intentionally exceed the grid on some cases: the
+			// plan must cap at the grid size.
+			diffSchedCase(t, tc, 4, true)
+		})
+	}
+}
+
+// TestParallelCrashFirstInBlockOrder crafts a kernel where later blocks
+// crash at earlier threads (so wall-clock order and serial order disagree):
+// block b crashes at thread 24-8b. The reported failure must be the serial
+// one — block 0, thread 24 — with bit-identical partial cycle accounting
+// and the identical hook prefix.
+func TestParallelCrashFirstInBlockOrder(t *testing.T) {
+	forceBudget(t, 8)
+	tc := diffCase{cfg: DefaultConfig(), grid: 4, block: 32,
+		setup: bigDiffSetup(4, 32),
+		build: func(b *kir.Builder) {
+			out := b.PtrParam("out", kir.I32)
+			acc := b.Def("acc", kir.F(0))
+			b.For("i", kir.I(0), kir.I(4), func(i *kir.Var) {
+				b.Accum(acc, kir.ToF32(kir.XAdd(kir.V(i), kir.TID())))
+			})
+			b.Emit(kir.CountExec{Site: 0})
+			div := b.Def("div", kir.XSub(kir.TID(), kir.XSub(kir.I(24), kir.XMul(kir.I(8), kir.BID()))))
+			v := b.Def("v", kir.XDiv(kir.I(100), kir.V(div)))
+			b.Store(out, kir.GlobalID(), kir.V(v))
+		}}
+	diffSchedCase(t, tc, 4, false)
+
+	_, err, _, _ := runSched(t, tc, 4)
+	ce, ok := err.(*CrashError)
+	if !ok {
+		t.Fatalf("want *CrashError, got %v", err)
+	}
+	if ce.Block != 0 || ce.Thread != 24 {
+		t.Fatalf("first failure = block %d thread %d; want serial-order block 0 thread 24", ce.Block, ce.Thread)
+	}
+}
+
+// TestParallelHangMiddleBlock hangs one thread of a middle block against a
+// tiny step budget; classification and position must match serial.
+func TestParallelHangMiddleBlock(t *testing.T) {
+	forceBudget(t, 8)
+	cfg := DefaultConfig()
+	cfg.StepBudget = 300
+	tc := diffCase{cfg: cfg, grid: 4, block: 16,
+		setup: bigDiffSetup(4, 16),
+		build: func(b *kir.Builder) {
+			out := b.PtrParam("out", kir.I32)
+			n := b.Def("n", kir.I(0))
+			b.If(kir.XLAnd(kir.XEq(kir.BID(), kir.I(2)), kir.XEq(kir.TID(), kir.I(5))), func() {
+				b.Set(n, kir.I(1))
+			}, nil)
+			b.While(kir.XGt(kir.V(n), kir.I(0)), func() {
+				b.Set(n, kir.XAdd(kir.V(n), kir.I(1)))
+			})
+			b.Store(out, kir.GlobalID(), kir.V(n))
+		}}
+	diffSchedCase(t, tc, 3, false)
+
+	_, err, _, _ := runSched(t, tc, 3)
+	he, ok := err.(*HangError)
+	if !ok {
+		t.Fatalf("want *HangError, got %v", err)
+	}
+	if he.Block != 2 || he.Thread != 5 {
+		t.Fatalf("hang at block %d thread %d; want block 2 thread 5", he.Block, he.Thread)
+	}
+}
+
+// TestLaunchPlanFallbacks pins every serial-fallback decision of the
+// scheduler.
+func TestLaunchPlanFallbacks(t *testing.T) {
+	forceBudget(t, 8)
+	pure := &pureRecHooks{}
+	base := LaunchSpec{Grid: 8, Block: 64, Hooks: pure}
+
+	plan := func(mutate func(d *Device, spec *LaunchSpec)) (int, string) {
+		cfg := DefaultConfig()
+		d := New(cfg)
+		spec := base
+		if mutate != nil {
+			mutate(d, &spec)
+		}
+		workers, extra, mode := d.launchPlan(&spec)
+		ReleaseLaunchSlots(extra)
+		return workers, mode
+	}
+
+	if w, mode := plan(nil); mode != "parallel" || w < 2 {
+		t.Fatalf("eligible launch: workers=%d mode=%q, want parallel", w, mode)
+	}
+	if _, mode := plan(func(d *Device, _ *LaunchSpec) { d.cfg.LaunchWorkers = 1 }); mode != "serial-config" {
+		t.Fatalf("LaunchWorkers=1: mode=%q, want serial-config", mode)
+	}
+	if _, mode := plan(func(d *Device, _ *LaunchSpec) {
+		d.SetMemFault(func(_, v uint32) uint32 { return v })
+	}); mode != "serial-fault" {
+		t.Fatalf("mem-fault overlay installed: mode=%q, want serial-fault", mode)
+	}
+	if _, mode := plan(func(_ *Device, spec *LaunchSpec) { spec.Hooks = &bcRecHooks{} }); mode != "serial-hooks" {
+		t.Fatalf("hooks without the pure-observer capability: mode=%q, want serial-hooks", mode)
+	}
+	if _, mode := plan(func(_ *Device, spec *LaunchSpec) { spec.Grid = 1; spec.Block = 512 }); mode != "serial-small" {
+		t.Fatalf("single-block grid: mode=%q, want serial-small", mode)
+	}
+	if _, mode := plan(func(_ *Device, spec *LaunchSpec) { spec.Grid = 4; spec.Block = 8 }); mode != "serial-small" {
+		t.Fatalf("launch below the thread cutoff: mode=%q, want serial-small", mode)
+	}
+	// An explicit worker request bypasses the small-launch cutoff.
+	if _, mode := plan(func(d *Device, spec *LaunchSpec) {
+		d.cfg.LaunchWorkers = 4
+		spec.Grid, spec.Block = 4, 8
+	}); mode != "parallel" {
+		t.Fatalf("explicit LaunchWorkers on a small launch: mode=%q, want parallel", mode)
+	}
+	// Workers are capped by the grid: 2 blocks can use at most 2 workers.
+	if w, mode := plan(func(_ *Device, spec *LaunchSpec) { spec.Grid = 2; spec.Block = 256 }); mode != "parallel" || w != 2 {
+		t.Fatalf("grid of 2: workers=%d mode=%q, want 2 parallel workers", w, mode)
+	}
+
+	SetLaunchBudget(0)
+	if _, mode := plan(nil); mode != "serial-budget" {
+		t.Fatalf("exhausted budget: mode=%q, want serial-budget", mode)
+	}
+	SetLaunchBudget(8)
+}
+
+// TestMemFaultLaunchStaysDeterministic runs a launch with a memory-fault
+// overlay under a parallel-requesting configuration: the engine must fall
+// back to serial and reproduce the exact serial observables (the overlay's
+// observation order is load order, which only serial execution pins).
+func TestMemFaultLaunchStaysDeterministic(t *testing.T) {
+	forceBudget(t, 8)
+	build := func(b *kir.Builder) {
+		out := b.PtrParam("out", kir.U32)
+		v := b.Def("v", kir.Load{Base: out, Index: kir.GlobalID()})
+		b.Store(out, kir.GlobalID(), kir.XAdd(kir.V(v), kir.U(1)))
+	}
+	run := func(launchWorkers int) []uint32 {
+		b := kir.NewBuilder("memfault")
+		build(b)
+		k := b.Kernel()
+		cfg := DefaultConfig()
+		cfg.LaunchWorkers = launchWorkers
+		d := New(cfg)
+		buf := d.Alloc("out", kir.U32, 512)
+		calls := uint32(0)
+		d.SetMemFault(func(addr, val uint32) uint32 {
+			calls++
+			return val ^ (calls & 1) // value depends on the observation order
+		})
+		if _, err := d.Launch(k, LaunchSpec{Grid: 8, Block: 64, Args: []Arg{BufArg(buf)}}); err != nil {
+			t.Fatal(err)
+		}
+		return d.ReadWords(buf)
+	}
+	if !reflect.DeepEqual(run(1), run(4)) {
+		t.Fatal("mem-fault launch outputs differ with LaunchWorkers set; the fault fallback is broken")
+	}
+}
+
+// TestLaunchBudgetAccounting exercises the shared slot pool directly.
+func TestLaunchBudgetAccounting(t *testing.T) {
+	forceBudget(t, 4)
+	if got := AcquireLaunchSlots(10); got != 4 {
+		t.Fatalf("acquire 10 of 4 = %d, want 4", got)
+	}
+	if got := AcquireLaunchSlots(1); got != 0 {
+		t.Fatalf("acquire on an exhausted budget = %d, want 0", got)
+	}
+	ReleaseLaunchSlots(3)
+	if got := AcquireLaunchSlots(2); got != 2 {
+		t.Fatalf("acquire 2 after releasing 3 = %d, want 2", got)
+	}
+	ReleaseLaunchSlots(2)
+	ReleaseLaunchSlots(1)
+	if got := AcquireLaunchSlots(0); got != 0 {
+		t.Fatalf("acquire 0 = %d, want 0", got)
+	}
+	SetLaunchBudget(-5)
+	if got := LaunchBudget(); got != 0 {
+		t.Fatalf("negative budget clamps to 0, got %d", got)
+	}
+	if got := AcquireLaunchSlots(1); got != 0 {
+		t.Fatalf("acquire on a zero budget = %d, want 0", got)
+	}
+}
+
+// launchAllocKernel builds a loop kernel plus a ready device/spec for
+// allocation and benchmark measurements.
+func launchAllocKernel(tb testing.TB, grid, block, launchWorkers int) (*Device, *kir.Kernel, LaunchSpec) {
+	tb.Helper()
+	b := kir.NewBuilder(fmt.Sprintf("alloc%dx%d", grid, block))
+	out := b.PtrParam("out", kir.F32)
+	acc := b.Def("acc", kir.F(0))
+	b.For("i", kir.I(0), kir.I(16), func(i *kir.Var) {
+		b.Accum(acc, kir.XMul(kir.ToF32(kir.V(i)), kir.F(0.5)))
+	})
+	b.Store(out, kir.GlobalID(), kir.V(acc))
+	k := b.Kernel()
+	cfg := DefaultConfig()
+	cfg.LaunchWorkers = launchWorkers
+	d := New(cfg)
+	buf := d.Alloc("out", kir.F32, grid*block)
+	return d, k, LaunchSpec{Grid: grid, Block: block, Args: []Arg{BufArg(buf)}}
+}
+
+// TestLaunchAllocsScaleWithWorkersNotThreads pins the sync.Pool satellite:
+// steady-state launches allocate O(workers), independent of the thread
+// count. Serial launches stay near allocation-free; quadrupling the thread
+// count must not move parallel allocations.
+func TestLaunchAllocsScaleWithWorkersNotThreads(t *testing.T) {
+	forceBudget(t, 8)
+	measure := func(grid, block, workers int) float64 {
+		d, k, spec := launchAllocKernel(t, grid, block, workers)
+		for i := 0; i < 3; i++ { // warm the program cache, reg pool, shard buffers
+			if _, err := d.Launch(k, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := d.Launch(k, spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	if serial := measure(8, 64, 1); serial > 4 {
+		t.Fatalf("warm serial launch allocates %.1f objects/launch, want <= 4", serial)
+	}
+	small := measure(8, 32, 4)  // 256 threads
+	large := measure(8, 128, 4) // 1024 threads
+	if small > 48 || large > 48 {
+		t.Fatalf("warm parallel launches allocate %.1f / %.1f objects, want <= 48 (O(workers))", small, large)
+	}
+	if large > small+8 {
+		t.Fatalf("parallel allocations scale with threads: %.1f at 256 threads vs %.1f at 1024", small, large)
+	}
+}
+
+func benchmarkLaunch(b *testing.B, launchWorkers int) {
+	old := LaunchBudget()
+	SetLaunchBudget(8)
+	defer SetLaunchBudget(old)
+	d, k, spec := launchAllocKernel(b, 64, 64, launchWorkers)
+	if _, err := d.Launch(k, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(k, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaunchSerial(b *testing.B)   { benchmarkLaunch(b, 1) }
+func BenchmarkLaunchParallel(b *testing.B) { benchmarkLaunch(b, 0) }

@@ -160,7 +160,8 @@ func (e *Env) RunCampaign(
 		ByClass: make(map[kir.DataClass]*Tally),
 		Results: make([]InjectionResult, len(plan)),
 	}
-	workers := e.campaignWorkers()
+	workers, extraWorkers := e.acquireCampaignWorkers()
+	defer gpu.ReleaseLaunchSlots(extraWorkers)
 	if e.Obs.Enabled() {
 		e.Obs.Emit(obs.EvCampaignStart,
 			obs.Str("program", spec.Name),

@@ -142,6 +142,19 @@ func (e *Env) campaignWorkers() int {
 	return runtime.NumCPU()
 }
 
+// acquireCampaignWorkers sizes a campaign's worker pool from the shared
+// launch budget: the campaign always gets one worker (the caller) plus as
+// many extra slots as gpu.AcquireLaunchSlots grants, capped by
+// Scale.Workers. Campaign-level and per-launch block-shard parallelism
+// draw from the same process-wide budget, so a parallel campaign whose
+// runs launch parallel kernels shares the cores instead of multiplying
+// them. The caller must return the extra slots with
+// gpu.ReleaseLaunchSlots when the campaign completes.
+func (e *Env) acquireCampaignWorkers() (workers, extra int) {
+	extra = gpu.AcquireLaunchSlots(e.campaignWorkers() - 1)
+	return 1 + extra, extra
+}
+
 // NewDevice creates a fresh simulated device for one run.
 func (e *Env) NewDevice() *gpu.Device { return gpu.New(e.Config) }
 

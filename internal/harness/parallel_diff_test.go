@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"testing"
+
+	"hauberk/internal/core/translate"
+	"hauberk/internal/gpu"
+	"hauberk/internal/kir"
+	"hauberk/internal/workloads"
+)
+
+// pureDiffHooks is diffHooks plus the pure-observer capability: recording
+// never feeds values back into the kernel, so parallel block execution
+// with buffered replay is sound for it.
+type pureDiffHooks struct{ diffHooks }
+
+func (h *pureDiffHooks) PureObserverHooks() bool { return true }
+
+func runParallelEngine(t *testing.T, launchWorkers int, k *kir.Kernel, spec *workloads.Spec) engineRun {
+	t.Helper()
+	cfg := gpu.DefaultConfig()
+	cfg.Interpreter = gpu.InterpreterBytecode
+	cfg.LaunchWorkers = launchWorkers
+	d := gpu.New(cfg)
+	inst := spec.Setup(d, workloads.Dataset{Index: 0})
+	hooks := &pureDiffHooks{}
+	res, err := d.Launch(k, gpu.LaunchSpec{
+		Grid:  inst.Grid,
+		Block: inst.Block,
+		Args:  inst.Args,
+		Hooks: hooks,
+	})
+	return engineRun{res: res, err: err, output: inst.ReadOutput(), events: hooks.events}
+}
+
+// TestParallelLaunchBitIdentical is the parallel engine's differential
+// oracle: for every evaluation workload (7 HPC + 2 graphics), original and
+// under every translator instrumentation mode, the block-sharded parallel
+// launch must agree bit-for-bit with the serial bytecode engine on outputs,
+// total/loop/non-loop cycle counts, memory traffic, the complete
+// detector/FI hook call sequence, and the launch metadata.
+func TestParallelLaunchBitIdentical(t *testing.T) {
+	oldBudget := gpu.LaunchBudget()
+	gpu.SetLaunchBudget(8)
+	t.Cleanup(func() { gpu.SetLaunchBudget(oldBudget) })
+
+	specs := append(workloads.HPC(), workloads.Graphics()...)
+	modes := []translate.Mode{
+		translate.ModeNone, translate.ModeProfiler, translate.ModeFT,
+		translate.ModeFI, translate.ModeFIFT,
+	}
+
+	for _, spec := range specs {
+		for _, variant := range append([]string{"original"}, modeNames(modes)...) {
+			spec, variant := spec, variant
+			t.Run(spec.Name+"/"+variant, func(t *testing.T) {
+				k := spec.Build()
+				if variant != "original" {
+					mode := modeByName(t, modes, variant)
+					tr, err := translate.Instrument(k, translate.NewOptions(mode))
+					if err != nil {
+						t.Fatalf("instrument: %v", err)
+					}
+					k = tr.Kernel
+				}
+
+				// LaunchWorkers=4 requests parallel execution explicitly
+				// (bypassing the small-launch cutoff: RPES runs 3 blocks of
+				// 64, TPACF 2 of 32), so every workload exercises the
+				// sharded path regardless of size.
+				par := runParallelEngine(t, 4, k, spec)
+				ser := runParallelEngine(t, 1, k, spec)
+
+				compareRuns(t, par, ser)
+			})
+		}
+	}
+}
+
+// TestParallelLaunchWithRuntimeHooks drives the real FT runtime (hrt)
+// through a parallel launch: the Runtime declares itself a pure observer
+// when no injection delegate is installed, so the harness's profiling and
+// FT launches are eligible for block sharding. Detector alarms recorded
+// through buffered replay must match the serial run exactly.
+func TestParallelLaunchWithRuntimeHooks(t *testing.T) {
+	oldBudget := gpu.LaunchBudget()
+	gpu.SetLaunchBudget(8)
+	t.Cleanup(func() { gpu.SetLaunchBudget(oldBudget) })
+
+	spec := workloads.ByName("ocean")
+	if spec == nil {
+		specs := workloads.HPC()
+		spec = specs[0]
+	}
+
+	run := func(launchWorkers int) (float64, gpu.HookCounts, []uint32) {
+		env := NewEnv(QuickScale())
+		env.Config.LaunchWorkers = launchWorkers
+		prof, err := env.Profile(spec, []workloads.Dataset{{Index: 0}})
+		if err != nil {
+			t.Fatalf("profile: %v", err)
+		}
+		golden, err := env.Golden(spec, workloads.Dataset{Index: 0})
+		if err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		tr, err := env.Instrument(spec, translate.NewOptions(translate.ModeFT))
+		if err != nil {
+			t.Fatalf("instrument: %v", err)
+		}
+		cycles, counts, err := env.launchFT(tr, spec, workloads.Dataset{Index: 0}, prof.Store)
+		if err != nil {
+			t.Fatalf("ft run: %v", err)
+		}
+		return cycles, counts, golden.Output
+	}
+
+	serCycles, serCounts, serOut := run(1)
+	parCycles, parCounts, parOut := run(4)
+	if serCycles != parCycles {
+		t.Fatalf("FT cycle accounting differs: serial %v parallel %v", serCycles, parCycles)
+	}
+	if serCounts.Total() != parCounts.Total() {
+		t.Fatalf("hook call counts differ: serial %d parallel %d", serCounts.Total(), parCounts.Total())
+	}
+	if len(serOut) != len(parOut) {
+		t.Fatalf("golden output lengths differ: %d vs %d", len(serOut), len(parOut))
+	}
+	for i := range serOut {
+		if serOut[i] != parOut[i] {
+			t.Fatalf("golden outputs differ at word %d", i)
+		}
+	}
+}

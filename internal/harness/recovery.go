@@ -36,8 +36,10 @@ type RecoveryStats struct {
 // arm once and do not re-fire on re-execution, so the guardian's
 // re-execution paths get exercised exactly as the paper describes.
 //
-// Injections run on Scale.Workers parallel workers (machine-sized when
-// unset), each with its own devices and injector; the live range store, the
+// Injections run on up to Scale.Workers parallel workers (machine-sized
+// when unset, and drawn from the process-wide launch budget shared with
+// the per-launch block-shard engine — see gpu.AcquireLaunchSlots), each
+// with its own devices and injector; the live range store, the
 // stats tallies, and the alpha controller are shared campaign-wide, as they
 // would be in one production deployment. The per-injection diagnosis is
 // deterministic; only the interleaving of on-line learning across
@@ -64,7 +66,9 @@ func (e *Env) RunRecoveryCampaign(
 		mu       sync.Mutex // guards stats and the alpha controller
 		firstErr error
 	)
-	sem := make(chan struct{}, e.campaignWorkers())
+	workers, extraWorkers := e.acquireCampaignWorkers()
+	defer gpu.ReleaseLaunchSlots(extraWorkers)
+	sem := make(chan struct{}, workers)
 	for _, inj := range plan {
 		wg.Add(1)
 		sem <- struct{}{}
