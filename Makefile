@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-obs bench-perf
+# COVER_FLOOR is the recorded total-statement-coverage floor (percent);
+# `make cover` fails if the shuffled unit suite drops below it.
+COVER_FLOOR ?= 70.0
+
+.PHONY: all build test check fmt vet lint race cover bench-smoke campaign-smoke bench bench-obs bench-perf
 
 all: build
 
@@ -10,9 +14,10 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: formatting, vet, and the full test suite
-# under the race detector.
-check: fmt vet race
+# check is the pre-commit gate and the single source of truth for CI:
+# every job in .github/workflows/ci.yml runs one of the targets below, so
+# a green `make check` locally means a green pipeline.
+check: fmt vet lint build cover race bench-smoke campaign-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -23,10 +28,40 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint is go vet plus staticcheck. CI installs staticcheck; environments
+# without it (and without network to fetch it) skip that half with a note
+# rather than failing.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # The harness suite runs full injection campaigns; under the race
 # detector it needs well past the default 10-minute package timeout.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# cover runs the unit suite with a shuffled execution order (order
+# dependencies between tests are bugs), writes coverage.out, and fails if
+# total statement coverage falls below COVER_FLOOR.
+cover:
+	$(GO) test -shuffle=on -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) }' || \
+		{ echo "coverage $$total% fell below the recorded $(COVER_FLOOR)% floor"; exit 1; }
+
+# bench-smoke is the does-it-still-run gate for the baseline kernels: one
+# iteration of every engine/workload pair, no timing claims.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkBaselineKernels -benchtime=1x .
+
+# campaign-smoke drives the durable campaign engine through the real
+# binaries: plan, kill mid-run, resume, shard, and verify merged figures.
+campaign-smoke:
+	./scripts/campaign_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem

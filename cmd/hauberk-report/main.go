@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,10,13,14,15,16,alpha,instr,all")
-		scale = flag.String("scale", "quick", "experiment scale: quick or full")
-		md    = flag.Bool("md", false, "emit markdown instead of text tables")
-		trace = flag.String("trace", "", "render this JSONL event journal as a detect/diagnose/recover timeline instead of regenerating figures")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,10,13,14,15,16,alpha,instr,all")
+		scale    = flag.String("scale", "quick", "experiment scale: quick or full")
+		md       = flag.Bool("md", false, "emit markdown instead of text tables")
+		trace    = flag.String("trace", "", "render this JSONL event journal as a detect/diagnose/recover timeline instead of regenerating figures")
+		campaign = flag.String("campaign", "", "merge the shard logs of this campaign store directory (written by `hauberk-run -campaign-dir`) and report the aggregate figures")
 	)
 	flag.Parse()
 
@@ -36,6 +37,22 @@ func main() {
 			os.Exit(1)
 		}
 		obs.WriteTimeline(os.Stdout, events)
+		return
+	}
+
+	if *campaign != "" {
+		man, cr, err := harness.LoadCampaignDir(*campaign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		t := harness.CampaignTable(man, cr)
+		if *md {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Print(t.Render())
+		}
+		fmt.Printf("figure digest:\n%s", cr.FigureDigest())
 		return
 	}
 

@@ -25,13 +25,31 @@
 // machine. Parallel launches are bit-identical to serial ones, so these
 // are pure throughput knobs.
 //
+// With -campaign-dir the tool runs a durable fault-injection campaign for
+// the program instead of a single supervised run: every classified
+// outcome is appended to an append-only JSONL store under the directory
+// before it counts as done, so a crash or Ctrl-C loses at most the
+// injections in flight. Re-launching with -resume loads the completed set
+// and runs only the remainder; -shard i/N splits the (seeded,
+// deterministic) plan across processes or CI jobs, whose shard logs
+// `hauberk-report -campaign <dir>` merges into one report:
+//
+//	hauberk-run -program CP -campaign-dir /tmp/cp-campaign
+//	hauberk-run -program CP -campaign-dir /tmp/cp-campaign -resume
+//	hauberk-run -program CP -campaign-dir /tmp/cp-campaign -shard 0/2 &
+//	hauberk-run -program CP -campaign-dir /tmp/cp-campaign -shard 1/2
+//
 // The exit code encodes the guardian's final diagnosis so scripts can
 // branch on the outcome: 0 for an accepted output (clean, recovered
 // transient, learned false alarm), 3 device-fault, 4 software-error,
-// 5 gave-up; 1 is an internal error and 2 a usage error.
+// 5 gave-up; 1 is an internal error and 2 a usage error. A campaign
+// interrupted by SIGINT/SIGTERM flushes its store and exits 7
+// ("resumable").
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"hauberk/internal/core/hrt"
@@ -45,7 +63,13 @@ import (
 	"hauberk/internal/swifi"
 	"hauberk/internal/workloads"
 	"os"
+	"os/signal"
+	"syscall"
 )
+
+// exitResumable is the campaign-mode exit code for an interrupted but
+// durably flushed run: re-launch with -resume to continue.
+const exitResumable = 7
 
 func main() { os.Exit(run()) }
 
@@ -67,6 +91,12 @@ func run() int {
 		workers     = flag.Int("workers", 0, "campaign/profiling worker goroutines (0 = one per CPU, shared with -launch-workers)")
 		launchWork  = flag.Int("launch-workers", 0, "per-launch block-shard workers (0 = machine-sized, 1 = serial, >1 = explicit; bytecode engine only)")
 		budget      = flag.Int("worker-budget", -1, "process-wide extra-worker budget shared by campaign and launch parallelism (-1 = NumCPU-1)")
+
+		campaignDir = flag.String("campaign-dir", "", "run a durable injection campaign, storing results under this directory")
+		resume      = flag.Bool("resume", false, "resume the campaign in -campaign-dir from its completed set")
+		shardSpec   = flag.String("shard", "0/1", "campaign shard i/N: run plan indices where idx%N == i")
+		scaleName   = flag.String("scale", "quick", "campaign scale: quick or full")
+		abortAfter  = flag.Int("campaign-abort-after", 0, "testing hook: interrupt the campaign after N durable results (simulates a mid-run kill)")
 	)
 	flag.Parse()
 	if *budget >= 0 {
@@ -135,11 +165,25 @@ func run() int {
 		}
 	}
 
-	env := harness.NewEnv(harness.QuickScale()).WithObs(tel)
+	var sc harness.Scale
+	switch *scaleName {
+	case "quick":
+		sc = harness.QuickScale()
+	case "full":
+		sc = harness.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		return 2
+	}
+	env := harness.NewEnv(sc).WithObs(tel)
 	env.Config.Interpreter = interp
 	env.Config.LaunchWorkers = *launchWork
 	env.Scale.Workers = *workers
 	ds := workloads.Dataset{Index: *dataset}
+
+	if *campaignDir != "" {
+		return runCampaign(env, spec, ds, *campaignDir, *resume, *shardSpec, *abortAfter)
+	}
 
 	// The FT library loads profiled value ranges from a file at the entry
 	// of main() and stores updates at exit (Section V.B step iv). Without
@@ -284,6 +328,62 @@ func run() int {
 		}
 	}
 	return rep.Diagnosis.ExitCode()
+}
+
+// runCampaign is the durable campaign mode: plan deterministically,
+// run (or resume) this process's shard under the watchdog, and on
+// SIGINT/SIGTERM flush the store and exit with the resumable status.
+func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, dir string, resume bool, shardSpec string, abortAfter int) int {
+	shard, shards, err := harness.ParseShard(shardSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	golden, err := env.Golden(spec, ds)
+	if err != nil {
+		return fail(err)
+	}
+	prof, err := env.Profile(spec, []workloads.Dataset{ds})
+	if err != nil {
+		return fail(err)
+	}
+	plan := env.PlanCampaign(spec, prof, env.Scale.BitCounts)
+	fmt.Printf("campaign: %d injections planned for %s (shard %d/%d, store %s)\n",
+		len(plan), spec.Name, shard, shards, dir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := harness.CampaignOptions{Dir: dir, Resume: resume, Shard: shard, Shards: shards}
+	if abortAfter > 0 {
+		abortCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ctx = abortCtx
+		opts.OnResult = func(done, total int) {
+			if done >= abortAfter {
+				cancel()
+			}
+		}
+	}
+	cr, err := env.RunCampaignDurable(ctx, spec, golden, prof.Store, translate.ModeFIFT, plan, opts)
+	if errors.Is(err, harness.ErrCampaignInterrupted) {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return exitResumable
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if shards > 1 {
+		fmt.Printf("shard %d/%d complete: %d injections recorded; merge with `hauberk-report -campaign %s` once all shards finish\n",
+			shard, shards, cr.All.Total(), dir)
+		return 0
+	}
+	man, merged, err := harness.LoadCampaignDir(dir)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Print(harness.CampaignTable(man, merged).Render())
+	fmt.Printf("figure digest:\n%s", merged.FigureDigest())
+	return 0
 }
 
 func makeDevices(n int, interp gpu.Interpreter, launchWorkers int) []*gpu.Device {

@@ -1,0 +1,59 @@
+package guardian
+
+import (
+	"testing"
+
+	"hauberk/internal/gpu"
+)
+
+func TestBackoffPolicySchedule(t *testing.T) {
+	p := DefaultBackoff()
+	if p.First() != 1 {
+		t.Fatalf("First() = %d, want 1", p.First())
+	}
+	want := []int64{1, 2, 4, 8, 16}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := p.Next(4); got != 8 {
+		t.Fatalf("Next(4) = %d, want 8", got)
+	}
+}
+
+func TestBackoffPolicyCapAndDefaults(t *testing.T) {
+	p := BackoffPolicy{Init: 3, Factor: 3, Max: 20}
+	for i, w := range []int64{3, 9, 20, 20} {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("capped Delay(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Zero-valued fields fall back to the paper's doubling from 1.
+	var zero BackoffPolicy
+	if zero.First() != 1 || zero.Next(1) != 2 {
+		t.Fatalf("zero policy: First=%d Next(1)=%d", zero.First(), zero.Next(1))
+	}
+	// A huge current delay must not overflow into a negative schedule.
+	if got := zero.Next(1 << 62); got <= 0 {
+		t.Fatalf("overflowed Next = %d", got)
+	}
+}
+
+func TestPoolUsesBackoffPolicy(t *testing.T) {
+	// A pool built with a custom policy caps Tbackoff at Max even after
+	// repeated failed retests.
+	devs := []*gpu.Device{gpu.New(gpu.DefaultConfig())}
+	p := NewDevicePoolPolicy(devs, func(*gpu.Device) bool { return false },
+		BackoffPolicy{Init: 2, Factor: 2, Max: 8})
+	p.Disable(0)
+	if got := p.Backoff(0); got != 2 {
+		t.Fatalf("initial Tbackoff = %d, want 2", got)
+	}
+	for i := 0; i < 40; i++ {
+		p.Tick()
+	}
+	if got := p.Backoff(0); got != 8 {
+		t.Fatalf("Tbackoff after repeated failed retests = %d, want the policy cap 8", got)
+	}
+}

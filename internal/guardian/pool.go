@@ -22,9 +22,9 @@ type DevicePool struct {
 	// produces multiple sets of output data by exercising various parts
 	// of the hardware). It must be side-effect free on program state.
 	selfTest func(*gpu.Device) bool
-	// backoffInit is the initial Tbackoff in ticks.
-	backoffInit int64
-	now         int64
+	// policy is the Tbackoff schedule, in ticks.
+	policy BackoffPolicy
+	now    int64
 
 	// Obs, when enabled, journals the back-off daemon's transitions:
 	// guardian.backoff on a failed retest (Tbackoff doubled) and
@@ -40,12 +40,17 @@ type pooledDevice struct {
 	retryAt  int64 // next self-test time
 }
 
-// NewDevicePool wraps the devices with the given self test.
+// NewDevicePool wraps the devices with the given self test. backoffInit
+// seeds the doubling BackoffPolicy; use NewDevicePoolPolicy for a custom
+// schedule.
 func NewDevicePool(devices []*gpu.Device, selfTest func(*gpu.Device) bool, backoffInit int64) *DevicePool {
-	if backoffInit <= 0 {
-		backoffInit = 1
-	}
-	p := &DevicePool{selfTest: selfTest, backoffInit: backoffInit}
+	return NewDevicePoolPolicy(devices, selfTest, BackoffPolicy{Init: backoffInit, Factor: 2})
+}
+
+// NewDevicePoolPolicy wraps the devices with the given self test and
+// Tbackoff schedule.
+func NewDevicePoolPolicy(devices []*gpu.Device, selfTest func(*gpu.Device) bool, policy BackoffPolicy) *DevicePool {
+	p := &DevicePool{selfTest: selfTest, policy: policy}
 	for _, d := range devices {
 		p.devices = append(p.devices, &pooledDevice{dev: d})
 	}
@@ -72,7 +77,7 @@ func (p *DevicePool) Disable(i int) {
 	pd := p.devices[i]
 	pd.disabled = true
 	pd.dev.Disabled = true
-	pd.backoff = p.backoffInit
+	pd.backoff = p.policy.First()
 	pd.retryAt = p.now + pd.backoff
 }
 
@@ -120,7 +125,7 @@ func (p *DevicePool) Tick() {
 		} else {
 			p.mu.Lock()
 			pd := p.devices[i]
-			pd.backoff *= 2
+			pd.backoff = p.policy.Next(pd.backoff)
 			pd.retryAt = p.now + pd.backoff
 			backoff := pd.backoff
 			p.mu.Unlock()

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"hauberk/internal/core/hrt"
@@ -74,6 +76,11 @@ type InjectionResult struct {
 	// Activated reports whether the fault was actually injected (the
 	// chosen instance executed).
 	Activated bool
+	// TimedOut marks a run the campaign watchdog killed by wall clock
+	// (always a hang failure).
+	TimedOut bool
+	// Retries counts infrastructure-error retries before this result.
+	Retries int
 }
 
 // RunInjection executes one fault-injection experiment with the given
@@ -140,6 +147,70 @@ type CampaignResult struct {
 	All Tally
 	// Hangs counts hang failures.
 	Hangs int
+}
+
+// aggregate rebuilds the tallies (All, ByBits, ByClass, Hangs) from
+// Results. It is shared by the in-memory runner, the durable runner, and
+// the shard merger, so every path derives figure aggregates identically.
+func (cr *CampaignResult) aggregate() {
+	cr.All = Tally{}
+	cr.Hangs = 0
+	cr.ByBits = make(map[int]*Tally)
+	cr.ByClass = make(map[kir.DataClass]*Tally)
+	for i := range cr.Results {
+		r := &cr.Results[i]
+		cr.All.Add(r.Outcome)
+		if r.Hang {
+			cr.Hangs++
+		}
+		tb := cr.ByBits[r.Injection.Bits]
+		if tb == nil {
+			tb = &Tally{}
+			cr.ByBits[r.Injection.Bits] = tb
+		}
+		tb.Add(r.Outcome)
+		tc := cr.ByClass[r.Injection.Class]
+		if tc == nil {
+			tc = &Tally{}
+			cr.ByClass[r.Injection.Class] = tc
+		}
+		tc.Add(r.Outcome)
+	}
+}
+
+// FigureDigest renders the campaign's aggregate figures (overall tally,
+// per-bit-count and per-class breakdowns, hang count) as a deterministic
+// string. Two campaigns whose digests are byte-identical produce the same
+// Figures 13–16 rows; the resume and shard differential tests — and the
+// CI campaign smoke — compare digests across run topologies.
+func (cr *CampaignResult) FigureDigest() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d hangs=%d\n", cr.All.Total(), cr.Hangs)
+	writeTally := func(label string, t *Tally) {
+		fmt.Fprintf(&sb, "%s:", label)
+		for o := Outcome(0); o < NumOutcomes; o++ {
+			fmt.Fprintf(&sb, " %s=%d", o, t[o])
+		}
+		fmt.Fprintf(&sb, " coverage=%.6f\n", t.Coverage())
+	}
+	writeTally("all", &cr.All)
+	bits := make([]int, 0, len(cr.ByBits))
+	for b := range cr.ByBits {
+		bits = append(bits, b)
+	}
+	sort.Ints(bits)
+	for _, b := range bits {
+		writeTally(fmt.Sprintf("bits[%d]", b), cr.ByBits[b])
+	}
+	classes := make([]int, 0, len(cr.ByClass))
+	for c := range cr.ByClass {
+		classes = append(classes, int(c))
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		writeTally(fmt.Sprintf("class[%s]", kir.DataClass(c)), cr.ByClass[kir.DataClass(c)])
+	}
+	return sb.String()
 }
 
 // RunCampaign executes a full injection campaign for one program. With
@@ -209,25 +280,7 @@ func (e *Env) RunCampaign(
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	for i := range out.Results {
-		r := &out.Results[i]
-		out.All.Add(r.Outcome)
-		if r.Hang {
-			out.Hangs++
-		}
-		tb := out.ByBits[r.Injection.Bits]
-		if tb == nil {
-			tb = &Tally{}
-			out.ByBits[r.Injection.Bits] = tb
-		}
-		tb.Add(r.Outcome)
-		tc := out.ByClass[r.Injection.Class]
-		if tc == nil {
-			tc = &Tally{}
-			out.ByClass[r.Injection.Class] = tc
-		}
-		tc.Add(r.Outcome)
-	}
+	out.aggregate()
 	if e.Obs.Enabled() {
 		m := e.Obs.Metrics()
 		m.Help("hauberk_injection_outcomes_total",

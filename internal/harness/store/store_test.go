@@ -1,0 +1,168 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testManifest() Manifest {
+	return Manifest{Program: "CP", Mode: 3, Injections: 6, PlanHash: "00c0ffee00c0ffee", Scale: "sites=2 masks=3 bits=[1 6]"}
+}
+
+func TestStoreAppendAndResume(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	s, err := Open(dir, m, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(Record{Idx: i, ID: "id", Outcome: 1, Bits: 1, Class: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-launch without resume must refuse the non-empty log.
+	if _, err := Open(dir, m, 0, 1, false); err == nil {
+		t.Fatal("Open without resume accepted a non-empty shard log")
+	}
+
+	// Resume sees the three completed records and appends more.
+	s, err = Open(dir, m, 0, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed() != 3 {
+		t.Fatalf("resumed Completed() = %d, want 3", s.Completed())
+	}
+	if _, ok := s.Done(2); !ok {
+		t.Fatal("record 2 missing after resume")
+	}
+	if _, ok := s.Done(5); ok {
+		t.Fatal("record 5 should not exist yet")
+	}
+	for i := 3; i < 6; i++ {
+		if err := s.Append(Record{Idx: i, ID: "id", Outcome: 2, Bits: 6, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	man, recs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man != m {
+		t.Fatalf("loaded manifest %+v, want %+v", man, m)
+	}
+	if len(recs) != 6 || Missing(man, recs) != 0 {
+		t.Fatalf("loaded %d records, missing %d", len(recs), Missing(man, recs))
+	}
+	for i, r := range recs {
+		if r.Idx != i {
+			t.Fatalf("records not sorted by idx: %v", recs)
+		}
+	}
+}
+
+func TestStoreManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	s, err := Open(dir, m, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	other := m
+	other.PlanHash = "deadbeefdeadbeef"
+	if _, err := Open(dir, other, 0, 1, true); err == nil {
+		t.Fatal("Open accepted a directory holding a different campaign")
+	}
+}
+
+func TestStoreToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	s, err := Open(dir, m, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(Record{Idx: 0, ID: "a", Outcome: 1, Bits: 1})
+	s.Append(Record{Idx: 1, ID: "b", Outcome: 2, Bits: 6})
+	s.Close()
+
+	// Simulate a kill mid-append: a truncated final line.
+	path := filepath.Join(dir, ShardFile(0, 1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, `{"idx":2,"id":"c","outc`...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(dir, m, 0, 1, true)
+	if err != nil {
+		t.Fatalf("resume over truncated tail: %v", err)
+	}
+	if s.Completed() != 2 {
+		t.Fatalf("Completed() = %d after truncated tail, want 2 (the in-flight record re-runs)", s.Completed())
+	}
+	// The re-run of the lost record appends cleanly after the garbage.
+	if err := s.Append(Record{Idx: 2, ID: "c", Outcome: 1, Bits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// A truncated line mid-log is real corruption and must abort.
+	if _, _, err := Load(dir); err == nil {
+		t.Fatal("Load accepted a log with an interior malformed line")
+	}
+}
+
+func TestStoreShardsMerge(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	for shard := 0; shard < 2; shard++ {
+		s, err := Open(dir, m, shard, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := shard; i < m.Injections; i += 2 {
+			if err := s.Append(Record{Idx: i, ID: "id", Outcome: i % 5, Bits: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+	}
+	_, recs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != m.Injections {
+		t.Fatalf("merged %d records, want %d", len(recs), m.Injections)
+	}
+	for i, r := range recs {
+		if r.Idx != i || r.Outcome != i%5 {
+			t.Fatalf("merged record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestStoreInvalidShard(t *testing.T) {
+	for _, tc := range []struct{ shard, shards int }{{-1, 2}, {2, 2}, {0, 0}} {
+		if _, err := Open(t.TempDir(), testManifest(), tc.shard, tc.shards, false); err == nil {
+			t.Errorf("Open accepted shard %d/%d", tc.shard, tc.shards)
+		}
+	}
+}
+
+func TestShardFileNaming(t *testing.T) {
+	if got := ShardFile(1, 4); !strings.Contains(got, "1of4") {
+		t.Fatalf("ShardFile = %q", got)
+	}
+}

@@ -58,6 +58,12 @@ const (
 	EvCampaignStart    = "campaign.start"    // program, injections, mode
 	EvCampaignProgress = "campaign.progress" // program, done, total
 	EvCampaignDone     = "campaign.done"     // program, outcome tallies, coverage
+
+	// Durable campaign engine (internal/harness campaign store + watchdog).
+	EvCampaignResume    = "campaign.resume"        // program, completed, remaining, shard, shards
+	EvCampaignRetry     = "campaign.retry"         // program, id, attempt, backoff_ms
+	EvCampaignWatchdog  = "campaign.watchdog_kill" // program, id, timeout_ms
+	EvCampaignInterrupt = "campaign.interrupt"     // program, completed, remaining (store flushed, run resumable)
 )
 
 // fieldKind discriminates the Field payload.

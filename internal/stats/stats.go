@@ -10,15 +10,23 @@ import (
 	"math/rand"
 )
 
-// NewRng returns a deterministic random stream derived from the given
-// labels. Every experiment seeds its randomness through here so runs are
-// reproducible bit-for-bit.
-func NewRng(labels ...any) *rand.Rand {
+// Fingerprint hashes the given labels into a stable 64-bit value (FNV-1a
+// over their %v renderings). Experiment seeds and campaign plan hashes
+// both go through here, so equality of fingerprints means equality of the
+// label sequence across processes and runs.
+func Fingerprint(labels ...any) uint64 {
 	h := fnv.New64a()
 	for _, l := range labels {
 		fmt.Fprintf(h, "%v|", l)
 	}
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	return h.Sum64()
+}
+
+// NewRng returns a deterministic random stream derived from the given
+// labels. Every experiment seeds its randomness through here so runs are
+// reproducible bit-for-bit.
+func NewRng(labels ...any) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Fingerprint(labels...))))
 }
 
 // DecadeHist buckets values by order of magnitude: bucket i covers

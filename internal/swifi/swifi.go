@@ -44,6 +44,22 @@ func (c Command) String() string {
 		c.Site, c.Instance, c.Mask, c.Persistent)
 }
 
+// Key is the command's stable identity: the canonical "site:instance:mask"
+// CLI syntax, extended with count/persistence when set. Two commands with
+// equal keys describe the same experiment, so durable campaign stores use
+// the key to recognise already-completed injections across process
+// restarts.
+func (c Command) Key() string {
+	key := fmt.Sprintf("%d:%d:%08x", c.Site, c.Instance, c.Mask)
+	if c.Count > 1 {
+		key += fmt.Sprintf(":n%d", c.Count)
+	}
+	if c.Persistent {
+		key += ":p"
+	}
+	return key
+}
+
 // ParseCommand parses the "site:instance:mask" syntax the CLI tools use;
 // the mask is hexadecimal (with or without an 0x prefix).
 func ParseCommand(s string) (Command, error) {

@@ -3,6 +3,7 @@ package swifi
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -192,5 +193,72 @@ func TestParseCommand(t *testing.T) {
 		if _, err := ParseCommand(bad); err == nil {
 			t.Errorf("ParseCommand(%q) should fail", bad)
 		}
+	}
+}
+
+func TestParseCommandErrorPaths(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring the error must carry so CLI users see the cause
+	}{
+		{"1:2:3:4", "want site:instance:mask"}, // bad field count (too many)
+		{"1:2:3:4:5", "want site:instance:mask"},
+		{"12:500", "want site:instance:mask"}, // bad field count (too few)
+		{"abc:2:ff", "bad site"},
+		{"1.5:2:ff", "bad site"},
+		{"1:abc:ff", "bad instance"},
+		{"1:2:xyz", "bad mask"},
+		{"1:2:1ffffffff", "bad mask"}, // mask wider than 32 bits
+		{"1:2:-4", "bad mask"},
+		{"1:2:0", "empty error mask"},   // zero-bit mask injects nothing
+		{"1:2:0x0", "empty error mask"}, // zero-bit mask, 0x form
+	}
+	for _, tc := range cases {
+		_, err := ParseCommand(tc.in)
+		if err == nil {
+			t.Errorf("ParseCommand(%q) should fail", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseCommand(%q) error %q, want it to mention %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestCommandKeyStability(t *testing.T) {
+	c := Command{Site: 12, Instance: 500, Mask: 0x40000000}
+	if got, want := c.Key(), "12:500:40000000"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	// The key round-trips through the CLI syntax.
+	parsed, err := ParseCommand(c.Key())
+	if err != nil {
+		t.Fatalf("Key %q does not parse: %v", c.Key(), err)
+	}
+	if parsed != c {
+		t.Fatalf("round-trip %+v != %+v", parsed, c)
+	}
+	// Count and persistence are part of the identity: an intermittent or
+	// permanent variant is a different experiment.
+	variants := []Command{
+		c,
+		{Site: 12, Instance: 500, Mask: 0x40000000, Count: 10000},
+		{Site: 12, Instance: 500, Mask: 0x40000000, Persistent: true},
+		{Site: 12, Instance: 501, Mask: 0x40000000},
+		{Site: 13, Instance: 500, Mask: 0x40000000},
+	}
+	seen := map[string]bool{}
+	for _, v := range variants {
+		k := v.Key()
+		if seen[k] {
+			t.Fatalf("duplicate key %q for distinct command %+v", k, v)
+		}
+		seen[k] = true
+	}
+	// Count 0 and 1 both mean a single transient upset — same experiment,
+	// same key.
+	one := Command{Site: 12, Instance: 500, Mask: 0x40000000, Count: 1}
+	if one.Key() != c.Key() {
+		t.Fatalf("Count 1 key %q differs from Count 0 key %q", one.Key(), c.Key())
 	}
 }
