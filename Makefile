@@ -4,7 +4,7 @@ GO ?= go
 # `make cover` fails if the shuffled unit suite drops below it.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all build test check fmt vet lint race cover bench-smoke campaign-smoke bench bench-obs bench-perf
+.PHONY: all build test check fmt vet lint race cover bench-smoke campaign-smoke chaos-smoke bench bench-obs bench-perf
 
 all: build
 
@@ -17,7 +17,7 @@ test:
 # check is the pre-commit gate and the single source of truth for CI:
 # every job in .github/workflows/ci.yml runs one of the targets below, so
 # a green `make check` locally means a green pipeline.
-check: fmt vet lint build cover race bench-smoke campaign-smoke
+check: fmt vet lint build cover race bench-smoke campaign-smoke chaos-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -62,6 +62,13 @@ bench-smoke:
 # binaries: plan, kill mid-run, resume, shard, and verify merged figures.
 campaign-smoke:
 	./scripts/campaign_smoke.sh
+
+# chaos-smoke proves crash containment through the real binaries: worker
+# SIGKILLs, corrupt frames, stalled heartbeats, failed spawns, and a
+# mid-campaign SIGTERM must leave figure digests byte-identical and no
+# orphaned worker processes.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem

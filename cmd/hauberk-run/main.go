@@ -57,6 +57,8 @@ import (
 	"hauberk/internal/core/translate"
 	"hauberk/internal/gpu"
 	"hauberk/internal/guardian"
+	"hauberk/internal/guardian/procexec"
+	"hauberk/internal/guardian/procexec/chaos"
 	"hauberk/internal/harness"
 	"hauberk/internal/kir"
 	"hauberk/internal/obs"
@@ -97,8 +99,21 @@ func run() int {
 		shardSpec   = flag.String("shard", "0/1", "campaign shard i/N: run plan indices where idx%N == i")
 		scaleName   = flag.String("scale", "quick", "campaign scale: quick or full")
 		abortAfter  = flag.Int("campaign-abort-after", 0, "testing hook: interrupt the campaign after N durable results (simulates a mid-run kill)")
+		isolation   = flag.String("isolation", "off", "campaign injection isolation: off (in-process) or process (supervised worker subprocesses)")
+		workerMode  = flag.Bool("worker", false, "internal: serve injection requests as a worker subprocess (framed protocol on stdin/stdout)")
 	)
 	flag.Parse()
+
+	// Worker mode first: the process speaks the procexec frame protocol on
+	// stdout, so nothing below (which prints) may run. Errors go to stderr,
+	// where the supervisor's crash tail picks them up.
+	if *workerMode {
+		if err := harness.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
 	if *budget >= 0 {
 		gpu.SetLaunchBudget(*budget)
 	}
@@ -182,7 +197,7 @@ func run() int {
 	ds := workloads.Dataset{Index: *dataset}
 
 	if *campaignDir != "" {
-		return runCampaign(env, spec, ds, *campaignDir, *resume, *shardSpec, *abortAfter)
+		return runCampaign(env, spec, ds, *campaignDir, *resume, *shardSpec, *abortAfter, *isolation)
 	}
 
 	// The FT library loads profiled value ranges from a file at the entry
@@ -333,8 +348,13 @@ func run() int {
 // runCampaign is the durable campaign mode: plan deterministically,
 // run (or resume) this process's shard under the watchdog, and on
 // SIGINT/SIGTERM flush the store and exit with the resumable status.
-func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, dir string, resume bool, shardSpec string, abortAfter int) int {
+func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, dir string, resume bool, shardSpec string, abortAfter int, isolation string) int {
 	shard, shards, err := harness.ParseShard(shardSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	chaosPlan, err := chaos.FromEnv()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -348,12 +368,24 @@ func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, d
 		return fail(err)
 	}
 	plan := env.PlanCampaign(spec, prof, env.Scale.BitCounts)
-	fmt.Printf("campaign: %d injections planned for %s (shard %d/%d, store %s)\n",
-		len(plan), spec.Name, shard, shards, dir)
+	fmt.Printf("campaign: %d injections planned for %s (shard %d/%d, store %s, isolation %s)\n",
+		len(plan), spec.Name, shard, shards, dir, isolation)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	opts := harness.CampaignOptions{Dir: dir, Resume: resume, Shard: shard, Shards: shards}
+	// On SIGINT/SIGTERM, kill every live worker process group immediately —
+	// before the campaign's durable store flush — so no worker outlives the
+	// resumable exit (and none keeps writing its half of a pipe nobody
+	// reads). Supervisors kill their own worker on context cancellation
+	// too; this is the guarantee for workers idle between requests.
+	go func() {
+		<-ctx.Done()
+		procexec.KillAllWorkers()
+	}()
+	opts := harness.CampaignOptions{
+		Dir: dir, Resume: resume, Shard: shard, Shards: shards,
+		Isolation: isolation, Chaos: chaosPlan,
+	}
 	if abortAfter > 0 {
 		abortCtx, cancel := context.WithCancel(ctx)
 		defer cancel()

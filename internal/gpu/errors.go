@@ -38,3 +38,17 @@ func (e *HangError) Error() string {
 type LaunchError struct{ Reason string }
 
 func (e *LaunchError) Error() string { return "gpu: launch failed: " + e.Reason }
+
+// PanicError reports a Go panic recovered at a launch boundary — a bug in
+// a hook implementation or in the engine itself. Containing it classifies
+// the run as a detected crash failure (like a CrashError) instead of
+// tearing down the whole campaign process; the stack is preserved for
+// diagnosis.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("gpu: panic during launch: %v", e.Value)
+}

@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 
 	"hauberk/internal/kir"
 	"hauberk/internal/obs"
@@ -104,12 +105,24 @@ func launchStatus(err error) string {
 		return "crash"
 	case *HangError:
 		return "hang"
+	case *PanicError:
+		return "panic"
 	default:
 		return "launch-error"
 	}
 }
 
-func (d *Device) launch(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
+func (d *Device) launch(k *kir.Kernel, spec LaunchSpec) (res *Result, err error) {
+	// Containment boundary: a panic anywhere in the engines or in hook
+	// delivery (including the parallel reducer's buffered replay) becomes
+	// a classified crash failure of this launch, never a dead campaign
+	// process. Shard-goroutine panics are recovered in launchParallel and
+	// surface as an ordinary *PanicError return.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = &Result{}, &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
 	if d.Disabled {
 		return &Result{}, &LaunchError{Reason: "device disabled"}
 	}

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -248,6 +249,8 @@ func (d *Device) launchParallel(k *kir.Kernel, spec LaunchSpec, p *program, work
 		nextBlk atomic.Int64
 		failBlk atomic.Int64 // minimum failing block index; Grid = none
 		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicEr *PanicError
 	)
 	failBlk.Store(int64(spec.Grid))
 
@@ -273,15 +276,36 @@ func (d *Device) launchParallel(k *kir.Kernel, spec LaunchSpec, p *program, work
 		}
 		p.putRegs(regs)
 	}
+	// A panic in a shard (an engine or hook-recorder bug) must not kill
+	// the process — worker goroutines have no caller to recover them — and
+	// must not be reduced as a silently half-executed block either. The
+	// first panic is kept and the whole launch fails as a classified
+	// crash; the zeroed watermark makes the other workers stop claiming.
+	shardSafe := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicEr == nil {
+					panicEr = &PanicError{Value: r, Stack: string(debug.Stack())}
+				}
+				panicMu.Unlock()
+				failBlk.Store(-1)
+			}
+		}()
+		shard()
+	}
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			shard()
+			shardSafe()
 		}()
 	}
-	shard() // the caller is worker 0
+	shardSafe() // the caller is worker 0
 	wg.Wait()
+	if panicEr != nil {
+		return &Result{Threads: spec.Grid * spec.Block}, panicEr
+	}
 
 	// Deterministic reduction: re-fold the recorded per-thread samples in
 	// the exact order (and with the exact float64 accumulator sequence)

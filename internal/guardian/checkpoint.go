@@ -2,6 +2,7 @@ package guardian
 
 import (
 	"errors"
+	"fmt"
 
 	"hauberk/internal/gpu"
 )
@@ -19,10 +20,18 @@ func Capture(dev *gpu.Device) *Checkpoint {
 	return &Checkpoint{dev: dev, snap: dev.Snapshot()}
 }
 
-// Restore reinstates the snapshot on the same device.
+// Restore reinstates the snapshot on the same device. A corrupt
+// checkpoint — one whose word count no longer matches the device's arena,
+// e.g. a truncated snapshot or a device re-provisioned since Capture — is
+// an error rather than a partial restore: resuming a kernel on half-old
+// memory would be exactly the silent corruption the guardian exists to
+// prevent.
 func (c *Checkpoint) Restore() error {
 	if c == nil || c.dev == nil {
 		return errors.New("guardian: restore on empty checkpoint")
+	}
+	if got, want := len(c.snap), c.dev.ArenaWords(); got != want {
+		return fmt.Errorf("guardian: corrupt checkpoint: %d words, device arena has %d", got, want)
 	}
 	c.dev.Restore(c.snap)
 	return nil

@@ -10,6 +10,13 @@
 // facilities of the paper (fork, SIGCHLD, kill) map onto ordinary function
 // calls and the simulator's hang budget, which plays the role of the
 // guardian's execution-time watchdog.
+//
+// The subpackage procexec restores the OS layer of Section VI for real:
+// it runs the supervised program in a worker subprocess (its own process
+// group), detects crashes via Wait status and hangs via heartbeat frames,
+// and surfaces process death to this automaton as *WorkerCrashError /
+// *WorkerHangError inside RunOutcome.Err — so the same Figure 11 states
+// now cover a worker that panics, spins, or is killed mid-run.
 package guardian
 
 import (
@@ -23,7 +30,9 @@ import (
 
 // RunOutcome is the result of running the supervised program once.
 type RunOutcome struct {
-	// Err is nil, *gpu.CrashError, *gpu.HangError or *gpu.LaunchError.
+	// Err is nil, *gpu.CrashError, *gpu.HangError, *gpu.LaunchError — or,
+	// when the program ran in an isolated worker subprocess (procexec),
+	// *WorkerCrashError / *WorkerHangError for real process death.
 	Err error
 	// SDC reports whether the control block carried any alarm.
 	SDC    bool
@@ -298,6 +307,12 @@ func (cfg *Config) emitRun(attempt, devIdx int, o *RunOutcome) {
 		status = "crash"
 	case *gpu.HangError:
 		status = "hang"
+	case *gpu.PanicError:
+		status = "panic"
+	case *WorkerCrashError:
+		status = "worker-crash"
+	case *WorkerHangError:
+		status = "worker-hang"
 	default:
 		status = "launch-error"
 	}

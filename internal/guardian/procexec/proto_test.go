@@ -1,0 +1,77 @@
+package procexec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Frame{Type: FrameRun, ID: "inj-7", Payload: []byte(`{"x":1}`), Seq: 3}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if out.Type != in.Type || out.ID != in.ID || out.Seq != in.Seq || string(out.Payload) != string(in.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	// A second read on the drained stream is a clean EOF, not corruption.
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("drained stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	_, err := ReadFrame(bytes.NewReader([]byte{0x00, 0x01}))
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated header must be a distinct error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "header") {
+		t.Errorf("error %q does not name the header", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString(`{"type":"result"`) // dies mid-write
+	_, err := ReadFrame(&buf)
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated body must be a distinct error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "body") {
+		t.Errorf("error %q does not name the body", err)
+	}
+}
+
+func TestReadFrameCorruptLength(t *testing.T) {
+	for _, n := range []uint32{0, maxFrameLen + 1} {
+		var buf bytes.Buffer
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		buf.Write(hdr[:])
+		if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "length") {
+			t.Errorf("length %d: got %v, want corrupt-length error", n, err)
+		}
+	}
+}
+
+func TestReadFrameGarbageBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 4)
+	buf.Write(hdr[:])
+	buf.WriteString("garb")
+	if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("garbage body: got %v, want corrupt-body error", err)
+	}
+}

@@ -1,0 +1,148 @@
+package procexec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"hauberk/internal/guardian/procexec/chaos"
+)
+
+// DefaultHeartbeat is the interval at which a worker emits heartbeat
+// frames while a request executes. The supervisor's miss window is a
+// multiple of this (Config.HeartbeatMisses).
+const DefaultHeartbeat = 25 * time.Millisecond
+
+// Handler executes one request payload and returns the response payload.
+// A returned error is reported as a FrameError and the worker keeps
+// serving — it is an application failure, not a process death. A panic is
+// deliberately NOT recovered: the process dies with a stack trace and the
+// supervisor classifies the crash, which is the entire point of running
+// the computation out-of-process.
+type Handler func(id string, payload json.RawMessage) (json.RawMessage, error)
+
+// ServeOptions tunes the worker loop.
+type ServeOptions struct {
+	// Heartbeat is the liveness interval (default DefaultHeartbeat).
+	Heartbeat time.Duration
+	// Chaos, when non-nil, injects deterministic failures keyed by the
+	// per-process request sequence number (see the chaos package).
+	Chaos *chaos.Plan
+}
+
+// Serve runs the worker side of the protocol: read run frames from in,
+// execute them through h with heartbeats flowing, write result frames to
+// out, until in reaches EOF (the supervisor closed stdin → clean exit).
+//
+// Serve is what `hauberk-run -worker` executes with os.Stdin/os.Stdout.
+// It must own out exclusively — any other write to the stream corrupts
+// the framing (which the supervisor would classify as a crash).
+func Serve(in io.Reader, out io.Writer, h Handler, opts ServeOptions) error {
+	hb := opts.Heartbeat
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	var wmu sync.Mutex // serializes heartbeat and result frames
+	write := func(f *Frame) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteFrame(out, f)
+	}
+
+	for seq := 0; ; seq++ {
+		req, err := ReadFrame(in)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if req.Type != FrameRun {
+			return fmt.Errorf("procexec: worker got unexpected %q frame", req.Type)
+		}
+
+		mode := opts.Chaos.Worker(seq)
+		switch mode {
+		case chaos.ModeKill:
+			// Die with no goodbye, taking the whole process group.
+			killOwnGroup()
+		case chaos.ModeStall:
+			// Fall silent: no heartbeats, no result. Only the supervisor's
+			// heartbeat-miss rule can see this; it will kill the group.
+			// (Sleeping, not select{}: the runtime's deadlock detector
+			// would otherwise turn the hang into a tidy crash.)
+			block()
+		case chaos.ModeCorrupt:
+			// A frame truncated mid-write by a dying process: emit a
+			// plausible length prefix with a garbage half-body and exit.
+			wmu.Lock()
+			out.Write([]byte{0x00, 0x00, 0x01, 0x00, 'g', 'a', 'r', 'b'}) //nolint:errcheck
+			wmu.Unlock()
+			return errors.New("procexec: chaos corrupt frame injected")
+		case chaos.ModePanic:
+			panic(fmt.Sprintf("chaos: injected worker panic (request seq %d)", seq))
+		}
+
+		stop := make(chan struct{})
+		var hbWG sync.WaitGroup
+		hbWG.Add(1)
+		go func(id string) {
+			defer hbWG.Done()
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for n := 1; ; n++ {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if write(&Frame{Type: FrameHeartbeat, ID: id, Seq: n}) != nil {
+						return // supervisor gone; the request's result write will fail too
+					}
+				}
+			}
+		}(req.ID)
+
+		if mode == chaos.ModeSpin {
+			// Emulate a workload that never terminates but whose process
+			// stays healthy: heartbeats keep flowing, the result never
+			// comes. Only the execution-time watchdog can catch this.
+			block()
+		}
+
+		payload, herr := h(req.ID, req.Payload)
+		close(stop)
+		hbWG.Wait()
+		resp := &Frame{Type: FrameResult, ID: req.ID, Payload: payload}
+		if herr != nil {
+			resp = &Frame{Type: FrameError, ID: req.ID, Error: herr.Error()}
+		}
+		if err := write(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// killOwnGroup SIGKILLs the calling process's process group — the worker
+// plus anything it spawned — emulating the hardest possible crash.
+func killOwnGroup() {
+	pgid, err := syscall.Getpgid(os.Getpid())
+	if err == nil {
+		syscall.Kill(-pgid, syscall.SIGKILL) //nolint:errcheck
+	}
+	syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck
+	block()                                    // unreachable; SIGKILL cannot be handled
+}
+
+// block parks the calling goroutine forever without tripping the Go
+// runtime's all-goroutines-asleep deadlock detector (which would convert
+// an injected hang into a crash).
+func block() {
+	for {
+		time.Sleep(time.Hour)
+	}
+}

@@ -46,9 +46,33 @@ func (w *Watchdog) Observe(kernel string, cycles float64) {
 	w.prev[kernel] = cycles
 }
 
+// Seed primes the kernel's baseline with a profiled clean execution time,
+// unless a real observation (or earlier seed) already exists. Without a
+// baseline, WouldKill falls back to killing anything past MinCycles — a
+// legitimately long first run would be misclassified as a hang, so
+// callers that profiled the program (the durable campaign engine derives
+// its timeout this way, and the procexec supervisor its request deadline)
+// should seed before the first WouldKill query. Non-positive values are
+// ignored.
+func (w *Watchdog) Seed(kernel string, cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	if _, ok := w.prev[kernel]; !ok {
+		w.prev[kernel] = cycles
+	}
+}
+
+// Baseline returns the kernel's current previous-execution baseline
+// (observed or seeded) and whether one exists.
+func (w *Watchdog) Baseline(kernel string) (float64, bool) {
+	prev, ok := w.prev[kernel]
+	return prev, ok
+}
+
 // WouldKill reports whether an execution that has been running for the
 // given cycles should be preemptively killed as a hang or delay error.
-// Before any observation, only the absolute minimum applies.
+// Before any observation or seed, only the absolute minimum applies.
 func (w *Watchdog) WouldKill(kernel string, cycles float64) bool {
 	if cycles < w.cfg.MinCycles {
 		return false
@@ -58,4 +82,16 @@ func (w *Watchdog) WouldKill(kernel string, cycles float64) bool {
 		return true
 	}
 	return cycles > prev*w.cfg.Factor
+}
+
+// Deadline returns the duration at which WouldKill starts classifying the
+// kernel as hung: Factor times its baseline, floored at MinCycles. For a
+// kernel with no baseline the floor itself is the deadline (the
+// conservative pre-seed rule).
+func (w *Watchdog) Deadline(kernel string) float64 {
+	d := w.cfg.MinCycles
+	if prev, ok := w.prev[kernel]; ok && prev*w.cfg.Factor > d {
+		d = prev * w.cfg.Factor
+	}
+	return d
 }

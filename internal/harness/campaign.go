@@ -135,6 +135,21 @@ func (e *Env) runInjectionOn(
 	return res, nil
 }
 
+// containPanic invokes fn, converting an escaped panic into a classified
+// crash failure for the injection — the same OutcomeFailure a
+// *gpu.PanicError at the launch boundary yields. Campaign workers run fn
+// on pool goroutines with no caller to recover them, so without this a
+// single panicking workload would tear down the whole campaign process.
+func containPanic(inj Injection, fn func() (*InjectionResult, error)) (r *InjectionResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = &InjectionResult{Injection: inj, Outcome: OutcomeFailure}
+			err = nil
+		}
+	}()
+	return fn()
+}
+
 // CampaignResult aggregates a program's campaign.
 type CampaignResult struct {
 	Spec    *workloads.Spec
@@ -257,7 +272,9 @@ func (e *Env) RunCampaign(
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := e.RunInjection(spec, golden, store, mode, plan[i])
+			r, err := containPanic(plan[i], func() (*InjectionResult, error) {
+				return e.RunInjection(spec, golden, store, mode, plan[i])
+			})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

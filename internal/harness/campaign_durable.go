@@ -14,6 +14,7 @@ import (
 	"hauberk/internal/core/translate"
 	"hauberk/internal/gpu"
 	"hauberk/internal/guardian"
+	"hauberk/internal/guardian/procexec/chaos"
 	cstore "hauberk/internal/harness/store"
 	"hauberk/internal/kir"
 	"hauberk/internal/obs"
@@ -59,6 +60,26 @@ type CampaignOptions struct {
 	// result (done counts completed injections of this shard, total the
 	// shard's size). Tests use it to interrupt mid-campaign.
 	OnResult func(done, total int)
+	// Isolation selects the executor: "" or IsolationOff runs injections
+	// in the campaign process; IsolationProcess runs each in a supervised
+	// worker subprocess (internal/guardian/procexec) so a panic, runaway
+	// loop or OOM kills one worker, never the campaign. Spawn failures
+	// degrade gracefully to the in-process path per injection.
+	Isolation string
+	// WorkerArgv is the worker command line for IsolationProcess
+	// (default: the running binary with -worker). Tests point it at the
+	// test binary re-execing itself.
+	WorkerArgv []string
+	// WorkerEnv entries are appended to each worker's environment.
+	WorkerEnv []string
+	// Chaos arms deterministic spawn-failure injection in the supervisors
+	// (worker-side chaos rides in the inherited HAUBERK_CHAOS variable;
+	// see internal/guardian/procexec/chaos).
+	Chaos *chaos.Plan
+	// WorkerWarmupGrace extends the first request's deadline on a freshly
+	// spawned worker, which must re-stage the program before executing
+	// (0 = the procexec default). Tests shrink it.
+	WorkerWarmupGrace time.Duration
 }
 
 func (o CampaignOptions) withDefaults() CampaignOptions {
@@ -229,6 +250,18 @@ func (e *Env) RunCampaignDurable(
 	}
 
 	workers, extraWorkers := e.acquireCampaignWorkers()
+	var pool *isoPool
+	if opts.Isolation == IsolationProcess {
+		pool, err = e.newIsoPool(workers, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Closed (killing every live worker group) before cs.Close's
+		// final flush, so no worker process outlives the campaign.
+		defer pool.Close()
+	} else if opts.Isolation != "" && opts.Isolation != IsolationOff {
+		return nil, fmt.Errorf("harness: unknown isolation mode %q", opts.Isolation)
+	}
 	defer gpu.ReleaseLaunchSlots(extraWorkers)
 	progressEvery := owned / 10
 	if progressEvery == 0 {
@@ -250,7 +283,13 @@ func (e *Env) RunCampaignDurable(
 		go func(idx int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := e.runInjectionGuarded(ctx, spec, golden, rstore, mode, plan[idx], timeout, opts)
+			var r *InjectionResult
+			var err error
+			if pool != nil {
+				r, err = e.runInjectionIsolated(ctx, pool, spec, golden, rstore, mode, plan[idx], timeout, opts)
+			} else {
+				r, err = e.runInjectionGuarded(ctx, spec, golden, rstore, mode, plan[idx], timeout, opts)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -314,9 +353,13 @@ func (e *Env) RunCampaignDurable(
 }
 
 // deriveWatchdogTimeout times one clean (never-matching) injection run of
-// the instrumented kernel and applies the guardian's hang rule: a run is
-// presumed hung past WatchdogFactor times the clean wall time, floored at
-// MinTimeout.
+// the instrumented kernel and derives the per-injection deadline through
+// the guardian watchdog's own Section VI(i) rule: the profiled clean wall
+// time Seeds the kernel's baseline, and Deadline applies "WatchdogFactor
+// times the baseline, floored at MinTimeout". Routing the derivation
+// through Watchdog (rather than re-implementing the arithmetic) keeps the
+// campaign engine and the procexec supervisor — which seeds the same way
+// for its request deadlines — on one rule.
 func (e *Env) deriveWatchdogTimeout(
 	spec *workloads.Spec,
 	golden *GoldenRun,
@@ -329,11 +372,12 @@ func (e *Env) deriveWatchdogTimeout(
 	if _, err := e.RunInjection(spec, golden, rstore, mode, probe); err != nil {
 		return 0, fmt.Errorf("harness: clean timing run of %s: %w", spec.Name, err)
 	}
-	t := time.Duration(opts.WatchdogFactor * float64(time.Since(start)))
-	if t < opts.MinTimeout {
-		t = opts.MinTimeout
-	}
-	return t, nil
+	wd := guardian.NewWatchdog(guardian.WatchdogConfig{
+		Factor:    opts.WatchdogFactor,
+		MinCycles: float64(opts.MinTimeout) / float64(time.Millisecond),
+	})
+	wd.Seed(spec.Name, float64(time.Since(start))/float64(time.Millisecond))
+	return time.Duration(wd.Deadline(spec.Name) * float64(time.Millisecond)), nil
 }
 
 // runInjectionGuarded wraps one injection in the watchdog-and-retry
@@ -398,6 +442,18 @@ func (g *guard) run(ctx context.Context, inj Injection, runFn func() (*Injection
 	for attempt := 0; ; attempt++ {
 		ch := make(chan outcome, 1)
 		go func() {
+			// A panic that escapes the launch-level recover (setup code,
+			// output classification) would kill the campaign process from
+			// this goroutine; contain it as a classified crash failure,
+			// the same outcome a *gpu.PanicError produces.
+			defer func() {
+				if p := recover(); p != nil {
+					ch <- outcome{&InjectionResult{
+						Injection: inj,
+						Outcome:   OutcomeFailure,
+					}, nil}
+				}
+			}()
 			r, err := runFn()
 			ch <- outcome{r, err}
 		}()

@@ -64,6 +64,13 @@ const (
 	EvCampaignRetry     = "campaign.retry"         // program, id, attempt, backoff_ms
 	EvCampaignWatchdog  = "campaign.watchdog_kill" // program, id, timeout_ms
 	EvCampaignInterrupt = "campaign.interrupt"     // program, completed, remaining (store flushed, run resumable)
+
+	// Process-isolated executor (internal/guardian/procexec).
+	EvWorkerSpawn    = "worker.spawn"    // pid, pgid, spawn_seq, argv0
+	EvWorkerCrash    = "worker.crash"    // exit, signal, reason
+	EvWorkerHang     = "worker.hang"     // heartbeat_miss, reason
+	EvWorkerRestart  = "worker.restart"  // id, attempt, backoff_ms
+	EvWorkerFallback = "worker.fallback" // program, reason (spawn failed; ran in-process)
 )
 
 // fieldKind discriminates the Field payload.
