@@ -4,12 +4,18 @@ GO ?= go
 # `make cover` fails if the shuffled unit suite drops below it.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all build test check fmt vet lint race cover bench-smoke campaign-smoke chaos-smoke bench bench-obs bench-perf
+# VERSION stamps hauberk_build_info{version=...} and `-version` output in
+# both binaries via internal/version. Defaults to git describe; override
+# with `make build VERSION=v1.2.3` for release builds.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -ldflags "-X hauberk/internal/version.Version=$(VERSION)"
+
+.PHONY: all build test check fmt vet lint race cover bench-smoke campaign-smoke chaos-smoke monitor-smoke bench bench-obs bench-perf
 
 all: build
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -17,7 +23,7 @@ test:
 # check is the pre-commit gate and the single source of truth for CI:
 # every job in .github/workflows/ci.yml runs one of the targets below, so
 # a green `make check` locally means a green pipeline.
-check: fmt vet lint build cover race bench-smoke campaign-smoke chaos-smoke
+check: fmt vet lint build cover race bench-smoke campaign-smoke chaos-smoke monitor-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -69,6 +75,13 @@ campaign-smoke:
 # orphaned worker processes.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# monitor-smoke exercises the embedded HTTP monitor through the real
+# binaries: run a campaign with -http, scrape /metrics through the strict
+# exposition parser, stream /events, poll /campaign to completion, and
+# verify figure digests are byte-identical with the monitor on or off.
+monitor-smoke:
+	VERSION=$(VERSION) ./scripts/monitor_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -527,6 +527,23 @@ func BenchmarkObsHookPath(b *testing.B) {
 	}
 }
 
+// TestMonitorOffLaunchAllocationFree pins the `-http`-off contract: when
+// no monitor address is configured, hauberk-run wires plain disabled
+// telemetry — no broadcaster, tracker or HTTP server is constructed —
+// and that path must keep the fully instrumented launch
+// allocation-identical to a launch with no telemetry at all.
+func TestMonitorOffLaunchAllocationFree(t *testing.T) {
+	bare := obsHookLaunch(t, nil)
+	off := obsHookLaunch(t, obs.Nop())
+	bare()
+	off()
+	base := testing.AllocsPerRun(20, bare)
+	monitorOff := testing.AllocsPerRun(20, off)
+	if monitorOff != base {
+		t.Fatalf("monitor-off telemetry changed allocations per launch: %v -> %v", base, monitorOff)
+	}
+}
+
 // TestWriteObsBenchJSON measures the instrumented-vs-nop hook path and
 // writes the comparison to the file named by BENCH_OBS_JSON (skipped when
 // the variable is unset):

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hauberk/internal/obs"
+	"hauberk/internal/obs/promtext"
+)
+
+// httpClient bounds every monitor request; streaming requests override
+// the timeout with a plain client.
+var httpClient = &http.Client{Timeout: 10 * time.Second}
+
+// normalizeBase accepts "host:port" or "http://host:port" with or
+// without a trailing slash.
+func normalizeBase(u string) string {
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return strings.TrimRight(u, "/")
+}
+
+// liveCampaign polls <base>/campaign and renders one progress line per
+// poll until the campaign reaches a terminal state. Returns the process
+// exit code: 0 done, 1 interrupted or unreachable.
+func liveCampaign(base string, interval time.Duration) int {
+	base = normalizeBase(base)
+	fails := 0
+	var last obs.ProgressSnapshot
+	for {
+		snap, err := fetchSnapshot(base + "/campaign")
+		if err != nil {
+			fails++
+			// A handful of misses is startup or a poll racing shutdown;
+			// persistent unreachability after we saw a terminal state is
+			// just the server exiting.
+			if last.State == "done" {
+				return 0
+			}
+			if fails >= 20 {
+				fmt.Fprintf(os.Stderr, "live: %v\n", err)
+				return 1
+			}
+			time.Sleep(interval)
+			continue
+		}
+		fails = 0
+		renderSnapshot(os.Stdout, snap)
+		last = snap
+		switch snap.State {
+		case "done":
+			if snap.Completed != snap.Total || snap.Total == 0 {
+				fmt.Fprintf(os.Stderr, "live: done with %d/%d injections\n", snap.Completed, snap.Total)
+				return 1
+			}
+			return 0
+		case "interrupted":
+			fmt.Fprintln(os.Stderr, "live: campaign interrupted (resumable)")
+			return 1
+		}
+		time.Sleep(interval)
+	}
+}
+
+func fetchSnapshot(url string) (obs.ProgressSnapshot, error) {
+	var snap obs.ProgressSnapshot
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// renderSnapshot prints one human-readable progress line (plus a worker
+// line when subprocess isolation is active).
+func renderSnapshot(w io.Writer, s obs.ProgressSnapshot) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-11s %s %d/%d", s.State, s.Program, s.Completed, s.Total)
+	if s.RatePerSec > 0 {
+		fmt.Fprintf(&sb, "  %.1f inj/s", s.RatePerSec)
+	}
+	if s.ETASeconds > 0 && s.State == "running" {
+		fmt.Fprintf(&sb, "  eta %s", (time.Duration(s.ETASeconds * float64(time.Second))).Round(100*time.Millisecond))
+	}
+	if len(s.Outcomes) > 0 {
+		keys := make([]string, 0, len(s.Outcomes))
+		for k := range s.Outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, s.Outcomes[k]))
+		}
+		fmt.Fprintf(&sb, "  [%s]", strings.Join(parts, " "))
+	}
+	if s.Retries > 0 || s.WatchdogKills > 0 {
+		fmt.Fprintf(&sb, "  retries=%d watchdog=%d", s.Retries, s.WatchdogKills)
+	}
+	if s.State == "done" && s.Coverage > 0 {
+		fmt.Fprintf(&sb, "  coverage=%.3f", s.Coverage)
+	}
+	fmt.Fprintln(w, sb.String())
+	if ws := s.Workers; ws.Spawns > 0 {
+		fmt.Fprintf(w, "            workers: spawns=%d crashes=%d hangs=%d restarts=%d fallbacks=%d\n",
+			ws.Spawns, ws.Crashes, ws.Hangs, ws.Restarts, ws.Fallbacks)
+	}
+}
+
+// scrapeMonitor GETs /healthz, /readyz and /metrics, strict-parses the
+// exposition, and prints a family/series summary. Exit code 0 only when
+// everything parses and health checks pass.
+func scrapeMonitor(base string) int {
+	base = normalizeBase(base)
+	for _, p := range []string{"/healthz", "/readyz"} {
+		resp, err := httpClient.Get(base + p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scrape: %v\n", err)
+			return 1
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "scrape: GET %s: %s\n", base+p, resp.Status)
+			return 1
+		}
+		fmt.Printf("%s: ok\n", p)
+	}
+	resp, err := httpClient.Get(base + "/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scrape: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "scrape: GET /metrics: %s\n", resp.Status)
+		return 1
+	}
+	return lintProm(resp.Body)
+}
+
+// lintProm strict-parses a Prometheus text exposition and prints a
+// summary (the shared body of -scrape and -promlint).
+func lintProm(r io.Reader) int {
+	exp, err := promtext.Parse(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		return 1
+	}
+	series := 0
+	for _, f := range exp.Families {
+		series += len(f.Samples)
+	}
+	fmt.Printf("/metrics: %d families, %d series, exposition parses strictly\n",
+		len(exp.Families), series)
+	for _, f := range exp.Families {
+		fmt.Printf("  %-45s %-9s %d series\n", f.Name, f.Type, len(f.Samples))
+	}
+	return 0
+}
+
+// promlintPath parses an exposition file ("-" = stdin).
+func promlintPath(path string) int {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	return lintProm(r)
+}
+
+// tailEvents streams n events from <base>/events (NDJSON) and prints
+// their type and sequence number, verifying sequence order is strictly
+// increasing. Exit 0 once n events arrived in order.
+func tailEvents(base string, n int, timeout time.Duration) int {
+	base = normalizeBase(base)
+	client := &http.Client{Timeout: 0} // streaming: no whole-request timeout
+	req, err := http.NewRequest(http.MethodGet, base+"/events", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tail: %v\n", err)
+		return 1
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tail: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "tail: GET /events: %s\n", resp.Status)
+		return 1
+	}
+	deadline := time.AfterFunc(timeout, func() { resp.Body.Close() })
+	defer deadline.Stop()
+
+	events, err := readEventStream(resp.Body, n, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tail: %v\n", err)
+		return 1
+	}
+	fmt.Printf("tail: %d events streamed in sequence order\n", events)
+	return 0
+}
+
+// readEventStream consumes up to n NDJSON journal events from r,
+// echoing "seq type" lines to w and enforcing monotonic sequence order.
+func readEventStream(r io.Reader, n int, w io.Writer) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lastSeq := uint64(0)
+	got := 0
+	for got < n && sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e struct {
+			Seq  uint64 `json:"seq"`
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil {
+			return got, fmt.Errorf("event %d is not valid JSON: %w", got+1, err)
+		}
+		if e.Type == "" {
+			return got, fmt.Errorf("event %d has no type: %s", got+1, line)
+		}
+		if e.Seq <= lastSeq {
+			return got, fmt.Errorf("sequence regressed: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		got++
+		fmt.Fprintf(w, "%6d %s\n", e.Seq, e.Type)
+	}
+	if got < n {
+		if err := sc.Err(); err != nil {
+			return got, fmt.Errorf("stream ended after %d/%d events: %w", got, n, err)
+		}
+		return got, fmt.Errorf("stream ended after %d/%d events", got, n)
+	}
+	return got, nil
+}

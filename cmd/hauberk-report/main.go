@@ -1,7 +1,12 @@
 // Command hauberk-report regenerates the paper's evaluation tables and
 // figures. Each figure of the paper maps to one table here; see DESIGN.md
 // for the per-experiment index. It also renders telemetry event journals
-// (written by `hauberk-run -trace`) as human-readable timelines.
+// (written by `hauberk-run -trace`) as human-readable timelines, and acts
+// as the client for the live monitor embedded by `hauberk-run -http`:
+// -live polls /campaign and renders progress until the campaign
+// completes, -scrape health-checks the monitor and strict-parses a live
+// /metrics exposition, -tail streams the /events journal verifying
+// sequence order, and -promlint strict-parses an exposition file.
 //
 // Usage:
 //
@@ -9,15 +14,20 @@
 //	hauberk-report -fig 13 -scale full
 //	hauberk-report -fig all -scale full -md > EXPERIMENTS-data.md
 //	hauberk-report -trace /tmp/t.jsonl
+//	hauberk-report -live 127.0.0.1:8344
+//	hauberk-report -scrape 127.0.0.1:8344
+//	hauberk-report -tail 127.0.0.1:8344 -tail-n 25
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hauberk/internal/harness"
 	"hauberk/internal/obs"
+	"hauberk/internal/version"
 )
 
 func main() {
@@ -27,8 +37,34 @@ func main() {
 		md       = flag.Bool("md", false, "emit markdown instead of text tables")
 		trace    = flag.String("trace", "", "render this JSONL event journal as a detect/diagnose/recover timeline instead of regenerating figures")
 		campaign = flag.String("campaign", "", "merge the shard logs of this campaign store directory (written by `hauberk-run -campaign-dir`) and report the aggregate figures")
+
+		live     = flag.String("live", "", "poll this monitor base URL's /campaign endpoint (from `hauberk-run -http`) and render live progress until the campaign completes")
+		poll     = flag.Duration("poll", 500*time.Millisecond, "poll interval for -live")
+		scrape   = flag.String("scrape", "", "GET /healthz, /readyz and /metrics from this monitor base URL and strict-parse the exposition")
+		tail     = flag.String("tail", "", "stream events from this monitor base URL's /events endpoint and verify sequence order")
+		tailN    = flag.Int("tail-n", 10, "number of events -tail waits for")
+		tailWait = flag.Duration("tail-wait", 30*time.Second, "how long -tail waits for its events before giving up")
+		promlint = flag.String("promlint", "", "strict-parse this Prometheus text exposition file (\"-\" = stdin)")
+		verFlag  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *verFlag {
+		fmt.Printf("hauberk-report %s (%s)\n", version.Version, version.GoVersion())
+		return
+	}
+	if *live != "" {
+		os.Exit(liveCampaign(*live, *poll))
+	}
+	if *scrape != "" {
+		os.Exit(scrapeMonitor(*scrape))
+	}
+	if *tail != "" {
+		os.Exit(tailEvents(*tail, *tailN, *tailWait))
+	}
+	if *promlint != "" {
+		os.Exit(promlintPath(*promlint))
+	}
 
 	if *trace != "" {
 		events, err := obs.LoadJournal(*trace)

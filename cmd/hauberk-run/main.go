@@ -15,6 +15,17 @@
 // `hauberk-report -trace t.jsonl`. With -metrics a Prometheus-text
 // exposition is dumped at exit.
 //
+// With -http the process embeds a live monitor serving /metrics
+// (Prometheus text), /events (NDJSON or SSE journal tail), /campaign
+// (JSON progress/ETA/failure-class status), /healthz, /readyz and
+// /debug/pprof on the given address (":0" picks a port, printed at
+// startup). The monitor is a pure observer — figure digests are
+// byte-identical with it on or off — and with -http unset none of it is
+// constructed, preserving the zero-allocation telemetry hot path.
+// -http-linger keeps it serving after the run so pollers can observe the
+// terminal state; `hauberk-report -live/-scrape/-tail` are the matching
+// clients.
+//
 // -engine selects the kernel execution engine: the compiled bytecode
 // engine (default) or the tree-walking interpreter it replaced.
 //
@@ -62,11 +73,14 @@ import (
 	"hauberk/internal/harness"
 	"hauberk/internal/kir"
 	"hauberk/internal/obs"
+	"hauberk/internal/obs/obshttp"
 	"hauberk/internal/swifi"
+	"hauberk/internal/version"
 	"hauberk/internal/workloads"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 )
 
 // exitResumable is the campaign-mode exit code for an interrupted but
@@ -94,6 +108,10 @@ func run() int {
 		launchWork  = flag.Int("launch-workers", 0, "per-launch block-shard workers (0 = machine-sized, 1 = serial, >1 = explicit; bytecode engine only)")
 		budget      = flag.Int("worker-budget", -1, "process-wide extra-worker budget shared by campaign and launch parallelism (-1 = NumCPU-1)")
 
+		httpAddr   = flag.String("http", "", "serve the live monitor (/metrics, /events, /campaign, /healthz, /debug/pprof) on this address; :0 picks a port")
+		httpLinger = flag.Duration("http-linger", 0, "keep the monitor serving this long after the run completes (lets pollers observe the terminal state)")
+		verFlag    = flag.Bool("version", false, "print the build version and exit")
+
 		campaignDir = flag.String("campaign-dir", "", "run a durable injection campaign, storing results under this directory")
 		resume      = flag.Bool("resume", false, "resume the campaign in -campaign-dir from its completed set")
 		shardSpec   = flag.String("shard", "0/1", "campaign shard i/N: run plan indices where idx%N == i")
@@ -103,6 +121,11 @@ func run() int {
 		workerMode  = flag.Bool("worker", false, "internal: serve injection requests as a worker subprocess (framed protocol on stdin/stdout)")
 	)
 	flag.Parse()
+
+	if *verFlag {
+		fmt.Printf("hauberk-run %s (%s)\n", version.Version, version.GoVersion())
+		return 0
+	}
 
 	// Worker mode first: the process speaks the procexec frame protocol on
 	// stdout, so nothing below (which prints) may run. Errors go to stderr,
@@ -150,9 +173,13 @@ func run() int {
 	}
 
 	// Telemetry: a journal sink when -trace is given; -metrics alone
-	// still enables collection (events are discarded, counters kept).
+	// still enables collection (events are discarded, counters kept);
+	// -http wraps whichever sink is configured in a fan-out broadcaster
+	// feeding the live monitor. With all three unset the telemetry stays
+	// the shared nop and hot paths keep their zero-allocation guarantee.
 	tel := obs.Nop()
-	if *tracePath != "" || *metricsPath != "" {
+	var monitor *obshttp.Server
+	if *tracePath != "" || *metricsPath != "" || *httpAddr != "" {
 		var sink obs.Sink
 		if *tracePath != "" {
 			journal, err := obs.OpenJournal(*tracePath)
@@ -160,6 +187,14 @@ func run() int {
 				return fail(err)
 			}
 			sink = journal
+		}
+		var broadcaster *obs.Broadcaster
+		var tracker *obs.ProgressTracker
+		if *httpAddr != "" {
+			broadcaster = obs.NewBroadcaster(sink)
+			tracker = obs.NewProgressTracker()
+			broadcaster.Attach(tracker)
+			sink = broadcaster
 		}
 		tel = obs.New(sink)
 		defer func() {
@@ -175,6 +210,32 @@ func run() int {
 					fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 				} else {
 					fmt.Printf("wrote metrics to %s\n", *metricsPath)
+				}
+			}()
+		}
+		if *httpAddr != "" {
+			monitor = obshttp.New(obshttp.Config{
+				Addr:        *httpAddr,
+				Registry:    tel.Metrics(),
+				Broadcaster: broadcaster,
+				Tracker:     tracker,
+			})
+			if err := monitor.Start(); err != nil {
+				return fail(err)
+			}
+			fmt.Printf("monitor: listening on http://%s\n", monitor.Addr())
+			// Registered after the tel.Close defer, so LIFO ordering runs
+			// it first: the monitor (after an optional linger that lets
+			// pollers observe the terminal /campaign state) drains before
+			// the broadcaster and journal close under it.
+			defer func() {
+				if *httpLinger > 0 {
+					time.Sleep(*httpLinger)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				if err := monitor.Shutdown(ctx); err != nil {
+					fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 				}
 			}()
 		}
@@ -197,7 +258,7 @@ func run() int {
 	ds := workloads.Dataset{Index: *dataset}
 
 	if *campaignDir != "" {
-		return runCampaign(env, spec, ds, *campaignDir, *resume, *shardSpec, *abortAfter, *isolation)
+		return runCampaign(env, spec, ds, *campaignDir, *resume, *shardSpec, *abortAfter, *isolation, monitor)
 	}
 
 	// The FT library loads profiled value ranges from a file at the entry
@@ -348,7 +409,7 @@ func run() int {
 // runCampaign is the durable campaign mode: plan deterministically,
 // run (or resume) this process's shard under the watchdog, and on
 // SIGINT/SIGTERM flush the store and exit with the resumable status.
-func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, dir string, resume bool, shardSpec string, abortAfter int, isolation string) int {
+func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, dir string, resume bool, shardSpec string, abortAfter int, isolation string, monitor *obshttp.Server) int {
 	shard, shards, err := harness.ParseShard(shardSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -371,16 +432,36 @@ func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, d
 	fmt.Printf("campaign: %d injections planned for %s (shard %d/%d, store %s, isolation %s)\n",
 		len(plan), spec.Name, shard, shards, dir, isolation)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
 	// On SIGINT/SIGTERM, kill every live worker process group immediately —
 	// before the campaign's durable store flush — so no worker outlives the
 	// resumable exit (and none keeps writing its half of a pipe nobody
 	// reads). Supervisors kill their own worker on context cancellation
-	// too; this is the guarantee for workers idle between requests.
+	// too; this is the guarantee for workers idle between requests. This
+	// goroutine must fire on a real signal only: on normal completion the
+	// pool closes its own workers, and the monitor stays up through
+	// -http-linger so late pollers can observe the terminal state.
 	go func() {
-		<-ctx.Done()
+		select {
+		case <-sigCh:
+		case <-ctx.Done():
+			return
+		}
+		cancel()
 		procexec.KillAllWorkers()
+		// Graceful monitor shutdown ahead of the durable store flush: no
+		// HTTP reader observes a half-flushed store, and the listener is
+		// gone before the resumable exit. Safe to repeat from the defer
+		// in run() on the clean-exit path.
+		if monitor != nil {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			monitor.Shutdown(sctx) //nolint:errcheck
+		}
 	}()
 	opts := harness.CampaignOptions{
 		Dir: dir, Resume: resume, Shard: shard, Shards: shards,

@@ -417,10 +417,16 @@ func KillAllWorkers() int {
 
 // --- telemetry ------------------------------------------------------------
 
+// heartbeatLagBuckets are the upper bounds (ms) for the worker
+// heartbeat-lag histogram: the observed gap between consecutive
+// liveness frames, whose tail is the early-warning signal for a worker
+// drifting toward its heartbeat-miss window.
+var heartbeatLagBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
 func (s *Supervisor) noteHeartbeat(lag time.Duration) {
 	if s.cfg.Obs.Enabled() {
-		s.cfg.Obs.Metrics().Gauge("hauberk_worker_heartbeat_lag_ms").
-			Set(float64(lag) / float64(time.Millisecond))
+		s.cfg.Obs.Metrics().Histogram("hauberk_worker_heartbeat_lag_ms", heartbeatLagBuckets).
+			Observe(float64(lag) / float64(time.Millisecond))
 	}
 }
 

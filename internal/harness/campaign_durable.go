@@ -23,6 +23,11 @@ import (
 	"hauberk/internal/workloads"
 )
 
+// heartbeatLagBuckets are the upper bounds (ms) for the campaign- and
+// worker-heartbeat-lag histograms exposed at /metrics: the gap between
+// consecutive durable results (campaign) or liveness frames (worker).
+var heartbeatLagBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
 // ErrCampaignInterrupted reports that a durable campaign stopped before
 // completing its shard because the context was cancelled (SIGINT/SIGTERM
 // in the CLI). The store has been flushed, so re-launching with resume
@@ -263,15 +268,12 @@ func (e *Env) RunCampaignDurable(
 		return nil, fmt.Errorf("harness: unknown isolation mode %q", opts.Isolation)
 	}
 	defer gpu.ReleaseLaunchSlots(extraWorkers)
-	progressEvery := owned / 10
-	if progressEvery == 0 {
-		progressEvery = 1
-	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		done     = resumed
-		firstErr error
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		done       = resumed
+		lastAppend time.Time
+		firstErr   error
 	)
 	sem := make(chan struct{}, workers)
 	for _, idx := range pending {
@@ -305,11 +307,27 @@ func (e *Env) RunCampaignDurable(
 				return
 			}
 			done++
-			if e.Obs.Enabled() && (done-resumed)%progressEvery == 0 && done < owned {
+			if e.Obs.Enabled() {
+				// One progress event per durable append — the progress-
+				// bearing feed the live monitor's /campaign tracker and
+				// /events tail aggregate (outcome and hang ride along so
+				// failure classes can be tallied without the store).
 				e.Obs.Emit(obs.EvCampaignProgress,
 					obs.Str("program", spec.Name),
 					obs.Int("done", int64(done)),
-					obs.Int("total", int64(owned)))
+					obs.Int("total", int64(owned)),
+					obs.Int("shard", int64(opts.Shard)),
+					obs.Int("shards", int64(opts.Shards)),
+					obs.Str("id", plan[idx].Cmd.Key()),
+					obs.Str("outcome", r.Outcome.String()),
+					obs.Bool("hang", r.Hang))
+				now := time.Now()
+				if !lastAppend.IsZero() {
+					e.Obs.Metrics().Histogram("hauberk_campaign_heartbeat_lag_ms",
+						heartbeatLagBuckets).
+						Observe(float64(now.Sub(lastAppend)) / float64(time.Millisecond))
+				}
+				lastAppend = now
 			}
 			if opts.OnResult != nil {
 				opts.OnResult(done, owned)

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkEvent(seq uint64) Event {
+	return Event{Seq: seq, Wall: time.Unix(int64(seq), 0), Type: EvCampaignProgress,
+		Fields: []Field{Int("done", int64(seq))}}
+}
+
+// TestBroadcasterFanOut checks inner-sink durability plus live delivery
+// to multiple subscribers.
+func TestBroadcasterFanOut(t *testing.T) {
+	inner := &MemSink{}
+	b := NewBroadcaster(inner)
+	s1 := b.Subscribe(16)
+	s2 := b.Subscribe(16)
+	for i := 1; i <= 5; i++ {
+		b.Emit(mkEvent(uint64(i)))
+	}
+	if got := len(inner.Events()); got != 5 {
+		t.Fatalf("inner sink saw %d events, want 5", got)
+	}
+	for name, s := range map[string]*Subscriber{"s1": s1, "s2": s2} {
+		for i := 1; i <= 5; i++ {
+			e := <-s.Events()
+			if e.Seq != uint64(i) {
+				t.Fatalf("%s: event %d has seq %d", name, i, e.Seq)
+			}
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-s1.Events(); ok {
+		t.Fatal("subscriber channel still open after broadcaster close")
+	}
+}
+
+// TestBroadcasterSlowSubscriberNeverBlocks is the backpressure contract:
+// a subscriber that never drains must not stall Emit; its overflow is
+// dropped and counted, and the journal (inner sink) stays complete.
+func TestBroadcasterSlowSubscriberNeverBlocks(t *testing.T) {
+	inner := &MemSink{}
+	b := NewBroadcaster(inner)
+	slow := b.Subscribe(4) // tiny buffer, never drained
+	fast := b.Subscribe(1024)
+
+	const total = 500
+	emitDone := make(chan struct{})
+	go func() {
+		defer close(emitDone)
+		for i := 1; i <= total; i++ {
+			b.Emit(mkEvent(uint64(i)))
+		}
+	}()
+	select {
+	case <-emitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Emit blocked on a slow subscriber")
+	}
+
+	if got := len(inner.Events()); got != total {
+		t.Fatalf("journal saw %d/%d events", got, total)
+	}
+	if got := slow.Dropped(); got != total-4 {
+		t.Fatalf("slow subscriber dropped %d, want %d", got, total-4)
+	}
+	if b.Dropped() != slow.Dropped() {
+		t.Fatalf("broadcaster dropped %d, subscriber %d", b.Dropped(), slow.Dropped())
+	}
+	// The fast subscriber missed nothing and order is preserved.
+	if fast.Dropped() != 0 {
+		t.Fatalf("fast subscriber dropped %d events", fast.Dropped())
+	}
+	for i := 1; i <= total; i++ {
+		e := <-fast.Events()
+		if e.Seq != uint64(i) {
+			t.Fatalf("fast subscriber: event %d has seq %d", i, e.Seq)
+		}
+	}
+	b.Close()
+}
+
+// TestBroadcasterSubscriberCloseDetaches proves closing a subscriber
+// mid-stream is race-free against concurrent emitters and stops
+// delivery to it without affecting others.
+func TestBroadcasterSubscriberCloseDetaches(t *testing.T) {
+	b := NewBroadcaster(nil)
+	keep := b.Subscribe(100000)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				seq++
+				b.Emit(mkEvent(seq))
+			}
+		}
+	}()
+	// Churn subscribers while the emitter runs (the race detector makes
+	// this test meaningful).
+	for i := 0; i < 50; i++ {
+		s := b.Subscribe(8)
+		time.Sleep(time.Millisecond)
+		s.Close()
+		s.Close() // idempotent
+	}
+	close(stop)
+	wg.Wait()
+	if keep.Dropped() != 0 && len(keep.Events()) == 0 {
+		t.Fatal("surviving subscriber saw nothing")
+	}
+	b.Close()
+	// Emit after close must not panic (send on closed channel would).
+	b.Emit(mkEvent(1 << 20))
+}
+
+// TestBroadcasterReplay checks late subscribers get the retained
+// history, spliced gap-free with live events.
+func TestBroadcasterReplay(t *testing.T) {
+	b := NewBroadcasterSize(nil, 8)
+	for i := 1; i <= 20; i++ {
+		b.Emit(mkEvent(uint64(i)))
+	}
+	s := b.Subscribe(16)
+	replay := s.Replay()
+	if len(replay) != 8 {
+		t.Fatalf("replay has %d events, want 8 (history bound)", len(replay))
+	}
+	if replay[0].Seq != 13 || replay[7].Seq != 20 {
+		t.Fatalf("replay covers seq %d..%d, want 13..20", replay[0].Seq, replay[7].Seq)
+	}
+	b.Emit(mkEvent(21))
+	if e := <-s.Events(); e.Seq != 21 {
+		t.Fatalf("first live event after replay has seq %d, want 21", e.Seq)
+	}
+	b.Close()
+}
+
+// TestBroadcasterTap checks synchronous taps see every event inline.
+func TestBroadcasterTap(t *testing.T) {
+	tap := &MemSink{}
+	b := NewBroadcaster(nil)
+	b.Attach(tap)
+	for i := 1; i <= 3; i++ {
+		b.Emit(mkEvent(uint64(i)))
+	}
+	if got := len(tap.Events()); got != 3 {
+		t.Fatalf("tap saw %d events, want 3", got)
+	}
+	b.Close()
+}

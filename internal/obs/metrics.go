@@ -43,6 +43,52 @@ func (r *Registry) Help(family, text string) {
 	r.help[family] = text
 }
 
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote and newline (in that
+// single-pass order, so an already-escaped sequence is not re-escaped
+// into garbage). Values without those bytes are returned unchanged.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// newline only (quotes are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}
+
 // labelString renders k,v pairs as a deterministic {a="b",c="d"} block.
 func labelString(kv []string) string {
 	if len(kv) == 0 {
@@ -59,7 +105,7 @@ func labelString(kv []string) string {
 		}
 		sb.WriteString(kv[i])
 		sb.WriteString(`="`)
-		sb.WriteString(strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(kv[i+1]))
+		sb.WriteString(escapeLabelValue(kv[i+1]))
 		sb.WriteString(`"`)
 	}
 	sb.WriteByte('}')
@@ -269,7 +315,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		series := byFamily[f]
 		sort.Slice(series, func(i, j int) bool { return series[i].labels() < series[j].labels() })
 		if h := help[f]; h != "" {
-			fmt.Fprintf(&sb, "# HELP %s %s\n", f, h)
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f, escapeHelp(h))
 		}
 		fmt.Fprintf(&sb, "# TYPE %s %s\n", f, series[0].promType())
 		for _, m := range series {

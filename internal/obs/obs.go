@@ -135,9 +135,11 @@ type Event struct {
 	Fields []Field
 }
 
-// appendJSON renders the event as one flat JSON object (fields are
+// AppendJSON renders the event as one flat JSON object (fields are
 // top-level keys next to seq/ts/type, which keeps the JSONL greppable).
-func (e *Event) appendJSON(dst []byte) []byte {
+// The journal sink and the /events streaming endpoint share this encoder,
+// so a live tail is byte-identical to the file it mirrors.
+func (e *Event) AppendJSON(dst []byte) []byte {
 	dst = append(dst, `{"seq":`...)
 	dst = strconv.AppendUint(dst, e.Seq, 10)
 	dst = append(dst, `,"ts":"`...)
@@ -305,7 +307,7 @@ func OpenJournal(path string) (*JournalSink, error) {
 func (s *JournalSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.buf = e.appendJSON(s.buf[:0])
+	s.buf = e.AppendJSON(s.buf[:0])
 	s.buf = append(s.buf, '\n')
 	s.w.Write(s.buf)
 }

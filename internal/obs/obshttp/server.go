@@ -1,0 +1,276 @@
+// Package obshttp is the embedded live-observability plane: a small
+// HTTP server that exposes the process's obs telemetry while a run or
+// campaign is in flight, enabled by `hauberk-run -http <addr>`.
+//
+// Endpoints:
+//
+//	/metrics      Prometheus text exposition of the obs registry plus
+//	              process series (build info, uptime, goroutines,
+//	              dropped live events)
+//	/events       live tail of the event journal: NDJSON by default,
+//	              Server-Sent Events with ?format=sse or an
+//	              Accept: text/event-stream header; ?replay=N bounds
+//	              how much retained history precedes the live stream
+//	/campaign     JSON campaign status document (progress, rate, ETA,
+//	              failure classes, retry/backoff, worker lifecycle)
+//	/healthz      liveness (200 once serving)
+//	/readyz       readiness (503 until the first event arrives)
+//	/debug/pprof  the standard Go profiling handlers
+//
+// The server is strictly an observer: it subscribes to the event
+// broadcaster and reads the registry, never touching the campaign
+// engine, which is why figure digests are byte-identical with the
+// monitor on or off. With -http unset none of this is constructed and
+// the telemetry hot path keeps its zero-allocation guarantee.
+//
+// This is the serving scaffold for the hauberkd roadmap item: the
+// daemon will mount campaign submission next to these read paths and
+// reuse the same broadcaster/tracker/registry plumbing per tenant.
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"hauberk/internal/obs"
+	"hauberk/internal/version"
+)
+
+// Config wires a Server to the process's telemetry.
+type Config struct {
+	// Addr is the listen address (e.g. "127.0.0.1:8344"; ":0" picks an
+	// ephemeral port, reported by Addr after Start).
+	Addr string
+	// Registry is scraped by /metrics (required).
+	Registry *obs.Registry
+	// Broadcaster feeds /events subscribers; nil disables /events (410).
+	Broadcaster *obs.Broadcaster
+	// Tracker backs /campaign; nil disables it (410).
+	Tracker *obs.ProgressTracker
+}
+
+// Server is one embedded monitor instance.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+	done  chan struct{}
+	err   error
+}
+
+// New builds a monitor server (not yet listening).
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/campaign", s.handleCampaign)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Start binds the listener and serves in the background. It returns
+// once the address is bound, so Addr is immediately valid.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("obshttp: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.start = time.Now()
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains in-flight requests; when the context expires first
+// (an /events stream with a connected client never goes idle) the
+// remaining connections are force-closed so shutdown always completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // force-close streams past the drain deadline
+	}
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}
+
+// --- /metrics ---------------------------------------------------------------
+
+// handleMetrics refreshes the process-level series and writes the whole
+// registry as Prometheus text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.cfg.Registry
+	if reg == nil {
+		http.Error(w, "no metrics registry", http.StatusServiceUnavailable)
+		return
+	}
+	s.stampProcessSeries(reg)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WriteProm(w) //nolint:errcheck // client gone mid-write is not actionable
+}
+
+// stampProcessSeries refreshes the serving-standard series on the
+// registry at scrape time.
+func (s *Server) stampProcessSeries(reg *obs.Registry) {
+	reg.Help("hauberk_build_info", "build identity; value is always 1")
+	reg.Gauge("hauberk_build_info",
+		"version", version.Version, "goversion", version.GoVersion()).Set(1)
+	reg.Help("hauberk_uptime_seconds", "seconds since the monitor server started")
+	reg.Gauge("hauberk_uptime_seconds").Set(time.Since(s.start).Seconds())
+	reg.Help("hauberk_goroutines", "live goroutines in the process")
+	reg.Gauge("hauberk_goroutines").Set(float64(runtime.NumGoroutine()))
+	if b := s.cfg.Broadcaster; b != nil {
+		reg.Help("hauberk_events_dropped_total",
+			"live-tail events dropped across all /events subscribers (journal stays complete)")
+		reg.Gauge("hauberk_events_dropped_total").Set(float64(b.Dropped()))
+	}
+}
+
+// --- /events ----------------------------------------------------------------
+
+// handleEvents streams the event journal: retained history first (bounded
+// by ?replay=N), then live events until the client disconnects or the
+// server shuts down. NDJSON lines by default; SSE frames when asked.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	b := s.cfg.Broadcaster
+	if b == nil {
+		http.Error(w, "event streaming disabled", http.StatusGone)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sse := r.URL.Query().Get("format") == "sse" ||
+		r.Header.Get("Accept") == "text/event-stream"
+	replay := -1 // all retained history
+	if v := r.URL.Query().Get("replay"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad replay count", http.StatusBadRequest)
+			return
+		}
+		replay = n
+	}
+
+	sub := b.Subscribe(1024)
+	defer sub.Close()
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	var buf []byte
+	write := func(e obs.Event) bool {
+		buf = buf[:0]
+		if sse {
+			buf = append(buf, "data: "...)
+		}
+		buf = e.AppendJSON(buf)
+		buf = append(buf, '\n')
+		if sse {
+			buf = append(buf, '\n')
+		}
+		if _, err := w.Write(buf); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	hist := sub.Replay()
+	if replay >= 0 && replay < len(hist) {
+		hist = hist[len(hist)-replay:]
+	}
+	for _, e := range hist {
+		if !write(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if !write(e) {
+				return
+			}
+		}
+	}
+}
+
+// --- /campaign --------------------------------------------------------------
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	t := s.cfg.Tracker
+	if t == nil {
+		http.Error(w, "campaign tracking disabled", http.StatusGone)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(t.Snapshot()) //nolint:errcheck
+}
+
+// --- health -----------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: serving and, when a tracker is wired,
+// at least one journal event folded in (the run has actually started).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if t := s.cfg.Tracker; t != nil {
+		if snap := t.Snapshot(); snap.LastSeq == 0 && snap.State == "idle" {
+			http.Error(w, "no telemetry yet", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ready")
+}

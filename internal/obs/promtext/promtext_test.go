@@ -1,0 +1,99 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, text string) *Exposition {
+	t.Helper()
+	exp, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	return exp
+}
+
+func TestParseBasic(t *testing.T) {
+	exp := parse(t, `# HELP hauberk_x_total counts x
+# TYPE hauberk_x_total counter
+hauberk_x_total{k="v"} 3
+hauberk_x_total 1
+# TYPE hauberk_g gauge
+hauberk_g -2.5e-1
+# TYPE hauberk_h histogram
+hauberk_h_bucket{le="1"} 2
+hauberk_h_bucket{le="+Inf"} 4
+hauberk_h_sum 12.5
+hauberk_h_count 4
+`)
+	f := exp.Family("hauberk_x_total")
+	if f == nil || f.Type != "counter" || f.Help != "counts x" || len(f.Samples) != 2 {
+		t.Fatalf("family: %+v", f)
+	}
+	if v, ok := exp.Sample("hauberk_x_total", "hauberk_x_total", map[string]string{"k": "v"}); !ok || v != 3 {
+		t.Fatalf("labeled sample: %v %v", v, ok)
+	}
+	if v, ok := exp.Sample("hauberk_g", "hauberk_g", nil); !ok || v != -0.25 {
+		t.Fatalf("gauge: %v %v", v, ok)
+	}
+	if v, ok := exp.Sample("hauberk_h", "hauberk_h_bucket", map[string]string{"le": "+Inf"}); !ok || v != 4 {
+		t.Fatalf("bucket: %v %v", v, ok)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	exp := parse(t, `# TYPE m counter
+m{a="back\\slash",b="quo\"te",c="new\nline"} 1
+`)
+	v, ok := exp.Sample("m", "m", map[string]string{
+		"a": `back\slash`, "b": `quo"te`, "c": "new\nline",
+	})
+	if !ok || v != 1 {
+		t.Fatalf("escaped labels did not decode: %v %v", v, ok)
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	exp := parse(t, `# TYPE m gauge
+m{k="inf"} +Inf
+m{k="ninf"} -Inf
+m{k="nan"} NaN
+`)
+	if v, _ := exp.Sample("m", "m", map[string]string{"k": "inf"}); !math.IsInf(v, 1) {
+		t.Fatalf("+Inf: %v", v)
+	}
+	if v, _ := exp.Sample("m", "m", map[string]string{"k": "nan"}); !math.IsNaN(v) {
+		t.Fatalf("NaN: %v", v)
+	}
+}
+
+// TestParseRejects enumerates the malformed documents the strict parser
+// must refuse — each is a corruption a lax consumer would let through.
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":     "m 1\n",
+		"bad metric name":        "# TYPE 9m counter\n9m 1\n",
+		"bad label name":         "# TYPE m counter\nm{9k=\"v\"} 1\n",
+		"unquoted label value":   "# TYPE m counter\nm{k=v} 1\n",
+		"invalid escape":         "# TYPE m counter\nm{k=\"a\\tb\"} 1\n",
+		"dangling backslash":     "# TYPE m counter\nm{k=\"a\\\"} 1\n",
+		"unterminated labels":    "# TYPE m counter\nm{k=\"v\" 1\n",
+		"duplicate label":        "# TYPE m counter\nm{k=\"a\",k=\"b\"} 1\n",
+		"non-numeric value":      "# TYPE m counter\nm pizza\n",
+		"trailing garbage":       "# TYPE m counter\nm 1 2 3\n",
+		"unknown type":           "# TYPE m speedometer\nm 1\n",
+		"duplicate TYPE":         "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"TYPE after samples":     "# TYPE m counter\nm 1\n# TYPE m gauge\n",
+		"bucket without le":      "# TYPE h histogram\nh_bucket 1\nh_count 1\n",
+		"missing +Inf bucket":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n",
+		"count != +Inf bucket":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\n",
+	}
+	for name, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted malformed exposition:\n%s", name, text)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package version carries the build identity stamped into the binaries
+// by the Makefile's -ldflags (see the VERSION variable there). A bare
+// `go build` produces "dev".
+package version
+
+import "runtime"
+
+// Version is overridden at link time:
+//
+//	go build -ldflags "-X hauberk/internal/version.Version=v1.2.3"
+var Version = "dev"
+
+// GoVersion reports the toolchain the binary was built with.
+func GoVersion() string { return runtime.Version() }
