@@ -10,7 +10,7 @@ COVER_FLOOR ?= 70.0
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X hauberk/internal/version.Version=$(VERSION)"
 
-.PHONY: all build test check fmt vet lint race cover bench-smoke campaign-smoke chaos-smoke monitor-smoke bench bench-obs bench-perf
+.PHONY: all build test check fmt vet lint race cover bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke bench bench-obs bench-perf
 
 all: build
 
@@ -23,7 +23,7 @@ test:
 # check is the pre-commit gate and the single source of truth for CI:
 # every job in .github/workflows/ci.yml runs one of the targets below, so
 # a green `make check` locally means a green pipeline.
-check: fmt vet lint build cover race bench-smoke campaign-smoke chaos-smoke monitor-smoke
+check: fmt vet lint build cover race bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -92,6 +92,24 @@ bench-obs:
 	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run TestWriteObsBenchJSON -v .
 
 # bench-perf records the execution-engine comparison (tree walker vs
-# bytecode) to BENCH_perf.json.
+# fused/unfused bytecode vs parallel) to BENCH_perf.json.
 bench-perf:
 	BENCH_PERF_JSON=BENCH_perf.json $(GO) test -run TestWritePerfBenchJSON -v .
+
+# bench-diff is the perf regression gate: re-measure the engine comparison
+# into a scratch report and diff it against the committed BENCH_perf.json
+# baseline. Absolute ns/op is machine-dependent and the baseline may come
+# from different hardware, so the gate compares only the machine-independent
+# speedup ratios (tree->bytecode, unfused->fused, serial->parallel), with
+# BENCH_DIFF_THRESHOLD percent of slack for benchmark noise. CI sets
+# BENCH_DIFF_MIN_CORES=2 so the parallel ratio is measured on a real
+# multicore runner instead of passing vacuously via the serial fallback.
+BENCH_DIFF_THRESHOLD ?= 15
+BENCH_DIFF_MIN_CORES ?= 1
+bench-diff:
+	BENCH_PERF_JSON=BENCH_perf.new.json $(GO) test -run TestWritePerfBenchJSON .
+	$(GO) run ./cmd/hauberk-report -bench-diff -bench-ratios-only \
+		-bench-threshold $(BENCH_DIFF_THRESHOLD) \
+		-bench-min-cores $(BENCH_DIFF_MIN_CORES) \
+		BENCH_perf.json BENCH_perf.new.json
+	rm -f BENCH_perf.new.json

@@ -38,10 +38,12 @@ var benchEngines = []struct {
 	name          string
 	interp        gpu.Interpreter
 	launchWorkers int
+	nofuse        bool
 }{
-	{"bytecode", gpu.InterpreterBytecode, 1},
-	{"tree", gpu.InterpreterTree, 1},
-	{"parallel", gpu.InterpreterBytecode, 0},
+	{"bytecode", gpu.InterpreterBytecode, 1, false},
+	{"unfused", gpu.InterpreterBytecode, 1, true},
+	{"tree", gpu.InterpreterTree, 1, false},
+	{"parallel", gpu.InterpreterBytecode, 0, false},
 }
 
 // baselineLaunch stages one workload on a fresh device with the given
@@ -49,10 +51,11 @@ var benchEngines = []struct {
 // it, plus the (engine-independent) simulated cycle count. Device
 // construction and input staging stay outside the measured region so the
 // benchmark isolates interpreter throughput.
-func baselineLaunch(tb testing.TB, spec *workloads.Spec, interp gpu.Interpreter, launchWorkers int) (func(), float64) {
+func baselineLaunch(tb testing.TB, spec *workloads.Spec, interp gpu.Interpreter, launchWorkers int, nofuse bool) (func(), float64) {
 	cfg := gpu.DefaultConfig()
 	cfg.Interpreter = interp
 	cfg.LaunchWorkers = launchWorkers
+	cfg.DisableFusion = nofuse
 	d := gpu.New(cfg)
 	k := spec.Build()
 	inst := spec.Setup(d, workloads.Dataset{Index: 0})
@@ -82,7 +85,7 @@ func BenchmarkBaselineKernels(b *testing.B) {
 			for _, spec := range workloads.HPC() {
 				spec := spec
 				b.Run(spec.Name, func(b *testing.B) {
-					launch, cycles := baselineLaunch(b, spec, eng.interp, eng.launchWorkers)
+					launch, cycles := baselineLaunch(b, spec, eng.interp, eng.launchWorkers, eng.nofuse)
 					b.ReportMetric(cycles, "gpu-cycles")
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
@@ -610,21 +613,8 @@ func TestWritePerfBenchJSON(t *testing.T) {
 	if path == "" {
 		t.Skip("set BENCH_PERF_JSON=<path> to measure and record the engine comparison")
 	}
-	type engineRow struct {
-		NsPerOp      int64   `json:"ns_per_op"`
-		CyclesPerSec float64 `json:"simulated_cycles_per_second"`
-	}
-	type workloadRow struct {
-		Program         string    `json:"program"`
-		Cycles          float64   `json:"gpu_cycles"`
-		Tree            engineRow `json:"tree"`
-		Bytecode        engineRow `json:"bytecode"`
-		Parallel        engineRow `json:"parallel"`
-		Speedup         float64   `json:"speedup"`
-		ParallelSpeedup float64   `json:"parallel_speedup"`
-	}
-	measure := func(spec *workloads.Spec, interp gpu.Interpreter, launchWorkers int) (testing.BenchmarkResult, float64) {
-		launch, cycles := baselineLaunch(t, spec, interp, launchWorkers)
+	measure := func(spec *workloads.Spec, interp gpu.Interpreter, launchWorkers int, nofuse bool) (testing.BenchmarkResult, float64) {
+		launch, cycles := baselineLaunch(t, spec, interp, launchWorkers, nofuse)
 		res := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				launch()
@@ -632,41 +622,43 @@ func TestWritePerfBenchJSON(t *testing.T) {
 		})
 		return res, cycles
 	}
-	var rows []workloadRow
-	logSum, logSumPar := 0.0, 0.0
+	var rows []harness.BenchWorkload
+	logSum, logSumFuse, logSumPar := 0.0, 0.0, 0.0
 	for _, spec := range workloads.HPC() {
-		tree, cycles := measure(spec, gpu.InterpreterTree, 1)
-		bc, _ := measure(spec, gpu.InterpreterBytecode, 1)
-		par, _ := measure(spec, gpu.InterpreterBytecode, 0)
-		row := workloadRow{
+		tree, cycles := measure(spec, gpu.InterpreterTree, 1, false)
+		bc, _ := measure(spec, gpu.InterpreterBytecode, 1, false)
+		unf, _ := measure(spec, gpu.InterpreterBytecode, 1, true)
+		par, _ := measure(spec, gpu.InterpreterBytecode, 0, false)
+		engine := func(r testing.BenchmarkResult) harness.BenchEngineStats {
+			return harness.BenchEngineStats{NsPerOp: r.NsPerOp(), CyclesPerSec: cycles * 1e9 / float64(r.NsPerOp())}
+		}
+		unfused := engine(unf)
+		row := harness.BenchWorkload{
 			Program:         spec.Name,
 			Cycles:          cycles,
-			Tree:            engineRow{tree.NsPerOp(), cycles * 1e9 / float64(tree.NsPerOp())},
-			Bytecode:        engineRow{bc.NsPerOp(), cycles * 1e9 / float64(bc.NsPerOp())},
-			Parallel:        engineRow{par.NsPerOp(), cycles * 1e9 / float64(par.NsPerOp())},
+			Tree:            engine(tree),
+			Bytecode:        engine(bc),
+			Unfused:         &unfused,
+			Parallel:        engine(par),
 			Speedup:         float64(tree.NsPerOp()) / float64(bc.NsPerOp()),
+			FusionSpeedup:   float64(unf.NsPerOp()) / float64(bc.NsPerOp()),
 			ParallelSpeedup: float64(bc.NsPerOp()) / float64(par.NsPerOp()),
 		}
 		logSum += math.Log(row.Speedup)
+		logSumFuse += math.Log(row.FusionSpeedup)
 		logSumPar += math.Log(row.ParallelSpeedup)
 		rows = append(rows, row)
-		t.Logf("%-8s tree %d ns/op, bytecode %d ns/op (%.2fx), parallel %d ns/op (%.2fx over serial)",
-			spec.Name, row.Tree.NsPerOp, row.Bytecode.NsPerOp, row.Speedup,
+		t.Logf("%-8s tree %d ns/op, bytecode %d ns/op (%.2fx, fusion %.2fx), parallel %d ns/op (%.2fx over serial)",
+			spec.Name, row.Tree.NsPerOp, row.Bytecode.NsPerOp, row.Speedup, row.FusionSpeedup,
 			row.Parallel.NsPerOp, row.ParallelSpeedup)
 	}
-	report := struct {
-		Benchmark              string        `json:"benchmark"`
-		HostCores              int           `json:"host_cores"`
-		WorkerBudget           int           `json:"worker_budget"`
-		Workloads              []workloadRow `json:"workloads"`
-		GeomeanSpeedup         float64       `json:"geomean_speedup"`
-		GeomeanParallelSpeedup float64       `json:"geomean_parallel_speedup"`
-	}{
-		Benchmark:              "BenchmarkBaselineKernels: tree walker vs serial vs parallel bytecode engine",
+	report := harness.BenchReport{
+		Benchmark:              "BenchmarkBaselineKernels: tree walker vs serial (fused and unfused) vs parallel bytecode engine",
 		HostCores:              runtime.NumCPU(),
 		WorkerBudget:           gpu.LaunchBudget(),
 		Workloads:              rows,
 		GeomeanSpeedup:         math.Exp(logSum / float64(len(rows))),
+		GeomeanFusionSpeedup:   math.Exp(logSumFuse / float64(len(rows))),
 		GeomeanParallelSpeedup: math.Exp(logSumPar / float64(len(rows))),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -676,8 +668,8 @@ func TestWritePerfBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: geomean speedup %.2fx (tree->bytecode), %.2fx (serial->parallel on %d cores)",
-		path, report.GeomeanSpeedup, report.GeomeanParallelSpeedup, report.HostCores)
+	t.Logf("wrote %s: geomean speedup %.2fx (tree->bytecode), %.2fx (unfused->fused), %.2fx (serial->parallel on %d cores)",
+		path, report.GeomeanSpeedup, report.GeomeanFusionSpeedup, report.GeomeanParallelSpeedup, report.HostCores)
 }
 
 // BenchmarkRecoveryCampaign drives injections through the full Figure 11

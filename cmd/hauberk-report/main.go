@@ -45,13 +45,25 @@ func main() {
 		tailN    = flag.Int("tail-n", 10, "number of events -tail waits for")
 		tailWait = flag.Duration("tail-wait", 30*time.Second, "how long -tail waits for its events before giving up")
 		promlint = flag.String("promlint", "", "strict-parse this Prometheus text exposition file (\"-\" = stdin)")
-		verFlag  = flag.Bool("version", false, "print the build version and exit")
+
+		benchDiff   = flag.Bool("bench-diff", false, "compare two BENCH_perf.json reports (old new, as positional args) and exit non-zero on regression")
+		benchThresh = flag.Float64("bench-threshold", 5, "allowed slowdown in percent before -bench-diff fails")
+		benchRatios = flag.Bool("bench-ratios-only", false, "-bench-diff compares only machine-independent speedup ratios (use across different hosts)")
+		benchCores  = flag.Int("bench-min-cores", 0, "-bench-diff rejects a new report recorded on fewer host cores")
+		verFlag     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
 	if *verFlag {
 		fmt.Printf("hauberk-report %s (%s)\n", version.Version, version.GoVersion())
 		return
+	}
+	if *benchDiff {
+		os.Exit(benchDiffCmd(flag.Args(), harness.BenchDiffOptions{
+			ThresholdPct: *benchThresh,
+			RatiosOnly:   *benchRatios,
+			MinCores:     *benchCores,
+		}))
 	}
 	if *live != "" {
 		os.Exit(liveCampaign(*live, *poll))

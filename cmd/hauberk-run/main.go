@@ -27,7 +27,8 @@
 // clients.
 //
 // -engine selects the kernel execution engine: the compiled bytecode
-// engine (default) or the tree-walking interpreter it replaced.
+// engine (default, with superinstruction fusion), the same engine with
+// fusion disabled (unfused), or the tree-walking interpreter both replaced.
 //
 // -workers sizes campaign/profiling parallelism and -launch-workers the
 // per-launch block-shard pool of the bytecode engine; both draw extra
@@ -103,7 +104,7 @@ func run() int {
 		saveRanges  = flag.String("save-ranges", "", "write the (possibly on-line-updated) value ranges to this JSON file at exit")
 		tracePath   = flag.String("trace", "", "write a JSONL telemetry event journal to this file")
 		metricsPath = flag.String("metrics", "", "dump Prometheus-text metrics to this file at exit")
-		engine      = flag.String("engine", "bytecode", "kernel execution engine: bytecode or tree")
+		engine      = flag.String("engine", "bytecode", "kernel execution engine: bytecode (fused), unfused (bytecode without superinstruction fusion), or tree")
 		workers     = flag.Int("workers", 0, "campaign/profiling worker goroutines (0 = one per CPU, shared with -launch-workers)")
 		launchWork  = flag.Int("launch-workers", 0, "per-launch block-shard workers (0 = machine-sized, 1 = serial, >1 = explicit; bytecode engine only)")
 		budget      = flag.Int("worker-budget", -1, "process-wide extra-worker budget shared by campaign and launch parallelism (-1 = NumCPU-1)")
@@ -148,9 +149,13 @@ func run() int {
 	}
 
 	var interp gpu.Interpreter
+	var nofuse bool
 	switch *engine {
 	case "bytecode":
 		interp = gpu.InterpreterBytecode
+	case "unfused":
+		interp = gpu.InterpreterBytecode
+		nofuse = true
 	case "tree":
 		interp = gpu.InterpreterTree
 	default:
@@ -253,6 +258,7 @@ func run() int {
 	}
 	env := harness.NewEnv(sc).WithObs(tel)
 	env.Config.Interpreter = interp
+	env.Config.DisableFusion = nofuse
 	env.Config.LaunchWorkers = *launchWork
 	env.Scale.Workers = *workers
 	ds := workloads.Dataset{Index: *dataset}
@@ -310,7 +316,7 @@ func run() int {
 	// with a known output. A persistent fault lives in device 0's
 	// hardware, so the self test fails there and the recovery engine
 	// migrates the program.
-	devPool := makeDevices(*devices, interp, *launchWork)
+	devPool := makeDevices(*devices, interp, nofuse, *launchWork)
 	faulty := devPool[0]
 	selfTest := func(d *gpu.Device) bool {
 		if *persistent && d == faulty {
@@ -499,9 +505,10 @@ func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, d
 	return 0
 }
 
-func makeDevices(n int, interp gpu.Interpreter, launchWorkers int) []*gpu.Device {
+func makeDevices(n int, interp gpu.Interpreter, nofuse bool, launchWorkers int) []*gpu.Device {
 	cfg := gpu.DefaultConfig()
 	cfg.Interpreter = interp
+	cfg.DisableFusion = nofuse
 	cfg.LaunchWorkers = launchWorkers
 	out := make([]*gpu.Device, n)
 	for i := range out {

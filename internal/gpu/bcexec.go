@@ -3,6 +3,7 @@ package gpu
 import (
 	"math"
 	"sync/atomic"
+	"time"
 
 	"hauberk/internal/kir"
 )
@@ -13,7 +14,7 @@ import (
 // flat dispatch in (*bcThread).run.
 func (d *Device) launchBytecode(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
 	p, hit := programFor(k, d.cfg)
-	workers, extra, mode := d.launchPlan(&spec)
+	workers, extra, mode := d.launchPlan(p, &spec)
 	if spec.Obs.Enabled() {
 		result := "miss"
 		if hit {
@@ -65,6 +66,7 @@ func (d *Device) launchBytecode(k *kir.Kernel, spec LaunchSpec) (*Result, error)
 		t.fastLimit = VirtualWords
 	}
 
+	start := time.Now()
 	for blk := 0; blk < spec.Grid; blk++ {
 		var warpMax float64
 		for tid := 0; tid < spec.Block; tid++ {
@@ -95,6 +97,10 @@ func (d *Device) launchBytecode(k *kir.Kernel, spec LaunchSpec) (*Result, error)
 			}
 		}
 	}
+	// Completed serial launches calibrate the adaptive launch planner:
+	// the program's per-thread cycle estimate and the process-wide
+	// engine-speed EWMA (see sched.go).
+	recordLaunchEstimate(p, sumThreadCycles, res.Threads, time.Since(start))
 	finishResult(res, d, sumWarpCycles, sumThreadCycles, sumLoopCycles)
 	return res, nil
 }
@@ -541,7 +547,120 @@ loop:
 		case opSync:
 			cycles += in.cost
 			loopCycles += in.costLoop
+
+		// Superinstructions (fuse.go): each replicates the exact charge
+		// order and crash points of the unfused pair it replaces. The
+		// absorbed instruction's charges ride in cost2/costLoop2, added at
+		// the bottom of the loop on fallthrough only.
+		case opMulAddF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			// The explicit float32 conversion is a contraction barrier:
+			// the spec requires it to round, so the product cannot fuse
+			// into an FMA and stays bit-identical to a separate opMulF.
+			m := float32(math.Float32frombits(regs[in.c]) * math.Float32frombits(regs[in.d]))
+			regs[in.a] = math.Float32bits(math.Float32frombits(regs[in.b]) + m)
+		case opMulAddFL:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			m := float32(math.Float32frombits(regs[in.c]) * math.Float32frombits(regs[in.d]))
+			regs[in.a] = math.Float32bits(m + math.Float32frombits(regs[in.b]))
+		case opMulSubF:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			m := float32(math.Float32frombits(regs[in.c]) * math.Float32frombits(regs[in.d]))
+			regs[in.a] = math.Float32bits(math.Float32frombits(regs[in.b]) - m)
+		case opMulSubFL:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			m := float32(math.Float32frombits(regs[in.c]) * math.Float32frombits(regs[in.d]))
+			regs[in.a] = math.Float32bits(m - math.Float32frombits(regs[in.b]))
+
+		case opLoadIdx:
+			// Index-compute charge at entry (the absorbed opLoad's Mem
+			// charge rides in cost2); a failed access check crashes before
+			// the Mem charge, exactly as the unfused pair would.
+			cycles += in.cost
+			loopCycles += in.costLoop
+			idx := regs[in.c] + regs[in.d]
+			if in.imm != 0 {
+				idx = uint32(int32(regs[in.c]) * int32(regs[in.d]))
+			}
+			addr := regs[in.b] + idx
+			if addr >= fastLimit {
+				if reason := d.checkAccess(addr); reason != "" {
+					err = t.crash("load: " + reason)
+					break loop
+				}
+			}
+			loads++
+			var val uint32
+			if int(addr) < len(arena) {
+				if shared {
+					val = atomic.LoadUint32(&arena[addr])
+				} else {
+					val = arena[addr]
+				}
+			}
+			if fault != nil {
+				val = fault(addr, val)
+			}
+			regs[in.a] = val
+
+		case opLoadOpF:
+			addr := regs[in.b] + regs[in.c]
+			if addr >= fastLimit {
+				if reason := d.checkAccess(addr); reason != "" {
+					err = t.crash("load: " + reason)
+					break loop
+				}
+			}
+			cycles += in.cost // Mem, after the check, like opLoad
+			loopCycles += in.costLoop
+			loads++
+			var val uint32
+			if int(addr) < len(arena) {
+				if shared {
+					val = atomic.LoadUint32(&arena[addr])
+				} else {
+					val = arena[addr]
+				}
+			}
+			if fault != nil {
+				val = fault(addr, val)
+			}
+			lv := math.Float32frombits(val)
+			ov := math.Float32frombits(regs[in.d])
+			var r float32
+			switch in.imm {
+			case loAdd:
+				r = ov + lv
+			case loAdd | loSwap:
+				r = lv + ov
+			case loSub:
+				r = ov - lv
+			case loSub | loSwap:
+				r = lv - ov
+			case loMul:
+				r = ov * lv
+			default: // loMul | loSwap
+				r = lv * ov
+			}
+			regs[in.a] = math.Float32bits(r)
+
+		case opCmpJZ:
+			cycles += in.cost
+			loopCycles += in.costLoop
+			if !cmpTrue(opcode(in.imm), regs[in.b], regs[in.c]) {
+				pc = int(in.a)
+				continue
+			}
 		}
+		// Fused-away successor charges: reached on fallthrough only, so
+		// taken branches and crash/hang exits skip them exactly as the
+		// unfused stream would. +0.0 for unfused instructions.
+		cycles += in.cost2
+		loopCycles += in.costLoop2
 		pc++
 	}
 
@@ -595,4 +714,49 @@ func b2u(b bool) uint32 {
 		return 1
 	}
 	return 0
+}
+
+// cmpTrue evaluates a fused comparison (the original compare opcode stored
+// in opCmpJZ's imm) on raw register bits, mirroring the standalone
+// opcode's semantics exactly.
+func cmpTrue(op opcode, x, y uint32) bool {
+	switch op {
+	case opLAnd:
+		return x != 0 && y != 0
+	case opLOr:
+		return x != 0 || y != 0
+	case opEqI:
+		return x == y
+	case opNeI:
+		return x != y
+	case opLtS:
+		return int32(x) < int32(y)
+	case opLeS:
+		return int32(x) <= int32(y)
+	case opGtS:
+		return int32(x) > int32(y)
+	case opGeS:
+		return int32(x) >= int32(y)
+	case opLtU:
+		return x < y
+	case opLeU:
+		return x <= y
+	case opGtU:
+		return x > y
+	case opGeU:
+		return x >= y
+	case opEqF:
+		return math.Float32frombits(x) == math.Float32frombits(y)
+	case opNeF:
+		return math.Float32frombits(x) != math.Float32frombits(y)
+	case opLtF:
+		return math.Float32frombits(x) < math.Float32frombits(y)
+	case opLeF:
+		return math.Float32frombits(x) <= math.Float32frombits(y)
+	case opGtF:
+		return math.Float32frombits(x) > math.Float32frombits(y)
+	case opGeF:
+		return math.Float32frombits(x) >= math.Float32frombits(y)
+	}
+	return false
 }

@@ -22,6 +22,15 @@ import (
 // identity makes loop attribution branchless: each instruction carries a
 // second charge (costLoop) added unconditionally to the loop-time
 // accumulator — equal to cost for instructions inside a loop, +0.0 outside.
+//
+// Superinstruction fusion (fuse.go) extends the contract rather than
+// bending it: a fused instruction carries the absorbed instruction's
+// charges in a *separate* pair of slots (cost2/costLoop2) that the
+// dispatch loop adds at the bottom of the iteration, on fallthrough only —
+// never pre-summed into cost, because two nonzero float64 adds are not one
+// add of their sum. Taken branches (`continue`) and crash/hang exits
+// (`break loop`) skip the bottom of the iteration, which is exactly when
+// the absorbed instruction would not have executed in the unfused stream.
 
 // opcode enumerates bytecode operations. Binary/unary operators are
 // specialized by operand type class at compile time so the dispatch loop
@@ -98,6 +107,17 @@ const (
 
 	opSpecial // regs[a] = hardware index register imm (kir.SpecialKind)
 
+	// Superinstructions (fuse.go). Never emitted by the compiler directly;
+	// the peephole pass rewrites adjacent pairs into them. Each replicates
+	// the exact charge order and crash points of the pair it replaces.
+	opMulAddF  // regs[a] = regs[b] + regs[c]*regs[d] (product on the right)
+	opMulAddFL // regs[a] = regs[c]*regs[d] + regs[b] (product on the left)
+	opMulSubF  // regs[a] = regs[b] - regs[c]*regs[d]
+	opMulSubFL // regs[a] = regs[c]*regs[d] - regs[b]
+	opLoadIdx  // regs[a] = mem[regs[b] + (regs[c] ⊕ regs[d])], imm 0: add, 1: mul
+	opLoadOpF  // regs[a] = regs[d] ⊕ mem[regs[b]+regs[c]], imm = loSub/loMul/loSwap bits
+	opCmpJZ    // if !cmp[imm](regs[b], regs[c]) then pc = a
+
 	// Intrinsic statements (Hauberk library calls).
 	opProbe         // a = target var slot, b = kir.HW, imm = site
 	opCountExec     // imm = site
@@ -117,20 +137,25 @@ const (
 )
 
 // inst is one bytecode instruction. a/b/c are register slots or jump
-// targets; imm carries opcode-specific payload (builtin, site, detector,
-// crash-message index). cost is charged at the opcode's semantic charge
-// point — before the operation for ALU ops and crashes, after the access
-// check for memory ops — mirroring the tree-walker's charge order.
-// costLoop equals cost when the instruction sits inside a loop and +0.0
-// otherwise; the dispatch loop adds it to the loop-time accumulator
-// unconditionally (a bitwise identity in the non-loop case).
+// targets (d is a fourth slot used only by superinstructions); imm carries
+// opcode-specific payload (builtin, site, detector, crash-message index).
+// cost is charged at the opcode's semantic charge point — before the
+// operation for ALU ops and crashes, after the access check for memory ops
+// — mirroring the tree-walker's charge order. costLoop equals cost when
+// the instruction sits inside a loop and +0.0 otherwise; the dispatch loop
+// adds it to the loop-time accumulator unconditionally (a bitwise identity
+// in the non-loop case). cost2/costLoop2 carry a fused-away successor's
+// charges, added at the bottom of the dispatch iteration on fallthrough
+// only (+0.0 for unfused instructions — again a bitwise identity).
 type inst struct {
-	op       opcode
-	flags    uint8
-	a, b, c  int32
-	imm      uint32
-	cost     float64
-	costLoop float64
+	op         opcode
+	flags      uint8
+	a, b, c, d int32
+	imm        uint32
+	cost       float64
+	costLoop   float64
+	cost2      float64
+	costLoop2  float64
 }
 
 // errRegion marks the instruction range of a loop-head condition (For.Limit
@@ -168,6 +193,17 @@ type program struct {
 	crashMsgs []string
 	regions   []errRegion
 
+	// unfusedLen is the instruction count before superinstruction fusion
+	// (== len(insts) when fusion is disabled); the difference is the
+	// dispatch iterations fusion saves per straight-line pass.
+	unfusedLen int
+
+	// estCycleBits is an EWMA of observed per-thread simulated cycles for
+	// this program (float64 bits; 0 = no launch measured yet). The adaptive
+	// launch planner multiplies it by the thread count and the calibrated
+	// engine speed to predict serial wall time (see sched.go).
+	estCycleBits atomic.Uint64
+
 	// regPool recycles register files across launches and shard workers.
 	// Pooling per program keys the pool by exactly the register-file
 	// size (nslots) and lets reused slices keep their constant pool
@@ -190,14 +226,22 @@ func (p *program) getRegs() *[]uint32 {
 // putRegs recycles a register file obtained from getRegs.
 func (p *program) putRegs(r *[]uint32) { p.regPool.Put(r) }
 
+// fusionVersion identifies the superinstruction fusion pass generation; it
+// participates in the program cache key so a cached fused program is never
+// served to a device that disabled fusion (and vice versa), and so future
+// catalog changes invalidate stale cache entries by construction.
+const fusionVersion = 1
+
 // progKey identifies a compiled program: the kernel (kernels are read-only
 // at launch time, so pointer identity is sound) plus everything the cost
-// folding depends on — the cost model values and the register file size
-// that determines the spill penalty.
+// folding depends on — the cost model values, the register file size that
+// determines the spill penalty, and the fusion pass generation (0 when
+// fusion is disabled).
 type progKey struct {
 	k     *kir.Kernel
 	costs CostModel
 	regs  int
+	fuse  uint8
 }
 
 // progCacheCap bounds the cache; on overflow the whole cache is dropped
@@ -217,7 +261,11 @@ var progCacheHits, progCacheMisses atomic.Int64
 // the program came from the cache. The fast path is a read-locked map
 // lookup with no allocation.
 func programFor(k *kir.Kernel, cfg Config) (p *program, hit bool) {
-	key := progKey{k: k, costs: cfg.Costs, regs: cfg.RegsPerThread}
+	fuse := uint8(fusionVersion)
+	if cfg.DisableFusion {
+		fuse = 0
+	}
+	key := progKey{k: k, costs: cfg.Costs, regs: cfg.RegsPerThread, fuse: fuse}
 	progCache.RLock()
 	p = progCache.m[key]
 	progCache.RUnlock()
@@ -225,7 +273,7 @@ func programFor(k *kir.Kernel, cfg Config) (p *program, hit bool) {
 		progCacheHits.Add(1)
 		return p, true
 	}
-	p = compileProgram(k, cfg.Costs, cfg.RegsPerThread)
+	p = compileProgram(k, cfg.Costs, cfg.RegsPerThread, fuse != 0)
 	progCache.Lock()
 	if q := progCache.m[key]; q != nil {
 		p = q // another launch compiled it first

@@ -53,6 +53,9 @@ type diffCase struct {
 	// engine on a fresh device. Defaults to a single 64-word F32 buffer
 	// bound to every pointer parameter.
 	setup func(d *Device, k *kir.Kernel) []Arg
+	// fault, when set, installs a memory-fault overlay on every engine's
+	// device before the launch.
+	fault func(addr, val uint32) uint32
 }
 
 func defaultDiffSetup(d *Device, k *kir.Kernel) []Arg {
@@ -88,12 +91,27 @@ func runDiff(t *testing.T, tc diffCase) (*Result, error) {
 		arenas [][]uint32
 		log    []string
 	}
-	engines := []Interpreter{InterpreterBytecode, InterpreterTree}
+	// Three engines: fused bytecode (the default), the unfused bytecode
+	// stream, and the tree-walker oracle. Every observable must be
+	// bit-identical across all three.
+	engines := []struct {
+		name   string
+		interp Interpreter
+		nofuse bool
+	}{
+		{"fused", InterpreterBytecode, false},
+		{"unfused", InterpreterBytecode, true},
+		{"tree", InterpreterTree, false},
+	}
 	runs := make([]run, len(engines))
 	for i, eng := range engines {
 		cfg := tc.cfg
-		cfg.Interpreter = eng
+		cfg.Interpreter = eng.interp
+		cfg.DisableFusion = eng.nofuse
 		d := New(cfg)
+		if tc.fault != nil {
+			d.SetMemFault(tc.fault)
+		}
 		args := tc.setup(d, k)
 		hooks := &bcRecHooks{}
 		res, err := d.Launch(k, LaunchSpec{Grid: tc.grid, Block: tc.block, Args: args, Hooks: hooks})
@@ -104,27 +122,30 @@ func runDiff(t *testing.T, tc diffCase) (*Result, error) {
 		runs[i] = run{res: res, err: err, arenas: arenas, log: hooks.log}
 	}
 
-	bc, tw := runs[0], runs[1]
-	if fmt.Sprint(bc.err) != fmt.Sprint(tw.err) {
-		t.Fatalf("error mismatch:\n  bytecode: %v\n  tree:     %v", bc.err, tw.err)
-	}
-	if bc.err != nil && reflect.TypeOf(bc.err) != reflect.TypeOf(tw.err) {
-		t.Fatalf("error type mismatch: bytecode %T, tree %T", bc.err, tw.err)
-	}
-	if math.Float64bits(bc.res.Cycles) != math.Float64bits(tw.res.Cycles) ||
-		math.Float64bits(bc.res.LoopCycles) != math.Float64bits(tw.res.LoopCycles) ||
-		math.Float64bits(bc.res.NonLoopCycles) != math.Float64bits(tw.res.NonLoopCycles) {
-		t.Fatalf("cycles not bit-identical:\n  bytecode: %+v\n  tree:     %+v", bc.res, tw.res)
-	}
-	if bc.res.Loads != tw.res.Loads || bc.res.Stores != tw.res.Stores ||
-		bc.res.MaxLive != tw.res.MaxLive || bc.res.Spill != tw.res.Spill {
-		t.Fatalf("result metadata mismatch:\n  bytecode: %+v\n  tree:     %+v", bc.res, tw.res)
-	}
-	if !reflect.DeepEqual(bc.arenas, tw.arenas) {
-		t.Fatalf("buffer contents differ")
-	}
-	if !reflect.DeepEqual(bc.log, tw.log) {
-		t.Fatalf("hook sequences differ:\n  bytecode: %v\n  tree:     %v", bc.log, tw.log)
+	bc := runs[0]
+	for i := 1; i < len(runs); i++ {
+		name, other := engines[i].name, runs[i]
+		if fmt.Sprint(bc.err) != fmt.Sprint(other.err) {
+			t.Fatalf("error mismatch:\n  fused:    %v\n  %s: %v", bc.err, name, other.err)
+		}
+		if bc.err != nil && reflect.TypeOf(bc.err) != reflect.TypeOf(other.err) {
+			t.Fatalf("error type mismatch: fused %T, %s %T", bc.err, name, other.err)
+		}
+		if math.Float64bits(bc.res.Cycles) != math.Float64bits(other.res.Cycles) ||
+			math.Float64bits(bc.res.LoopCycles) != math.Float64bits(other.res.LoopCycles) ||
+			math.Float64bits(bc.res.NonLoopCycles) != math.Float64bits(other.res.NonLoopCycles) {
+			t.Fatalf("cycles not bit-identical:\n  fused:    %+v\n  %s: %+v", bc.res, name, other.res)
+		}
+		if bc.res.Loads != other.res.Loads || bc.res.Stores != other.res.Stores ||
+			bc.res.MaxLive != other.res.MaxLive || bc.res.Spill != other.res.Spill {
+			t.Fatalf("result metadata mismatch:\n  fused:    %+v\n  %s: %+v", bc.res, name, other.res)
+		}
+		if !reflect.DeepEqual(bc.arenas, other.arenas) {
+			t.Fatalf("buffer contents differ between fused and %s runs", name)
+		}
+		if !reflect.DeepEqual(bc.log, other.log) {
+			t.Fatalf("hook sequences differ:\n  fused:    %v\n  %s: %v", bc.log, name, other.log)
+		}
 	}
 	return bc.res, bc.err
 }

@@ -27,7 +27,11 @@ import (
 //     compile-time loop nesting depth > 0; For initializers charge at the
 //     enclosing depth, loop heads and bodies one deeper, matching the
 //     interpreter's depth bookkeeping.
-func compileProgram(k *kir.Kernel, costs CostModel, regsPerThread int) *program {
+//
+// When fuse is set the lowered program additionally runs the
+// superinstruction fusion pass (fuse.go), which preserves all of the above
+// by construction.
+func compileProgram(k *kir.Kernel, costs CostModel, regsPerThread int, fuse bool) *program {
 	an := kir.Analyze(k)
 	spill := 0.0
 	if an.MaxLive > regsPerThread {
@@ -44,7 +48,7 @@ func compileProgram(k *kir.Kernel, costs CostModel, regsPerThread int) *program 
 	collectConsts(k.Body, c)
 	c.tempBase = c.nv + len(c.consts)
 	c.block(k.Body)
-	return &program{
+	p := &program{
 		insts:      c.insts,
 		consts:     c.consts,
 		vars:       k.Vars(),
@@ -54,7 +58,12 @@ func compileProgram(k *kir.Kernel, costs CostModel, regsPerThread int) *program 
 		spillExtra: spill,
 		crashMsgs:  c.crashMsgs,
 		regions:    c.regions,
+		unfusedLen: len(c.insts),
 	}
+	if fuse {
+		fuseProgram(p)
+	}
+	return p
 }
 
 type compiler struct {

@@ -89,6 +89,11 @@ type Config struct {
 	// bypass the small-launch cutoff. Parallel and serial launches are
 	// bit-identical, so this is purely a throughput knob.
 	LaunchWorkers int
+	// DisableFusion turns off the post-compile superinstruction fusion
+	// pass (fuse.go). Fused and unfused programs are bit-identical in
+	// outputs, cycle accounting, and failure attribution; the knob exists
+	// for differential testing and as an escape hatch.
+	DisableFusion bool
 }
 
 // DefaultConfig returns a GT200-like device: 30 SMs, 32-wide warps, 20
@@ -130,10 +135,6 @@ type Device struct {
 	// fault is an optional memory-fault overlay used to emulate
 	// intermittent memory faults (Section II, Figure 3); see SetMemFault.
 	fault func(addr uint32, val uint32) uint32
-
-	// sched holds the parallel launch engine's reusable shard buffers
-	// (lazily created; see sched.go).
-	sched *launchSched
 }
 
 // New creates a device with the given configuration.

@@ -85,7 +85,7 @@ func TestLaunchPanickingHookParallelReplay(t *testing.T) {
 
 	// The panic must actually cross the parallel path, or this test
 	// silently degrades into a second copy of the serial one.
-	workers, extra, mode := d.launchPlan(&spec)
+	workers, extra, mode := d.launchPlan(nil, &spec)
 	ReleaseLaunchSlots(extra)
 	if mode != "parallel" || workers < 2 {
 		t.Fatalf("launch plan = %d workers, mode %q; want the parallel path", workers, mode)

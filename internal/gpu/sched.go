@@ -1,10 +1,12 @@
 package gpu
 
 import (
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hauberk/internal/kir"
 )
@@ -37,9 +39,10 @@ import (
 //
 // Launches fall back to serial execution when a SetMemFault overlay is
 // installed (SWIFI semantics depend on serial evaluation order), when the
-// hooks may mutate kernel state, when the launch is too small to amortize
-// the fan-out (e.g. RPES kernels run ~330 simulated cycles), or when the
-// process-wide worker budget is exhausted.
+// hooks may mutate kernel state, when the calibrated amortization model
+// predicts the launch is too small to amortize the fan-out (e.g. RPES
+// kernels run ~330 simulated cycles), or when the process-wide worker
+// budget is exhausted.
 
 // HookObserver is an optional capability interface for Hooks
 // implementations. A Hooks value that implements it and returns true
@@ -81,6 +84,7 @@ var launchSlots struct {
 
 func init() {
 	launchSlots.capacity.Store(int64(runtime.NumCPU() - 1))
+	shardAmortNs.Store(defaultShardAmortNs)
 }
 
 // SetLaunchBudget sets the process-wide number of extra worker slots
@@ -130,17 +134,95 @@ func ReleaseLaunchSlots(n int) {
 	}
 }
 
-// minParallelThreads is the default small-launch cutoff: below it the
-// fan-out (goroutine handoff, shard buffers, ordered reduction) is not
-// worth amortizing and the launch stays serial. An explicit
-// Config.LaunchWorkers > 1 bypasses the cutoff.
+// minParallelThreads is the bootstrap small-launch cutoff, used only for
+// the first launch of a program, before the adaptive model has a cycle
+// estimate: below it the fan-out (goroutine handoff, shard buffers,
+// ordered reduction) is not worth amortizing and the launch stays serial.
+// An explicit Config.LaunchWorkers > 1 bypasses the cutoff.
 const minParallelThreads = 256
+
+// --- calibrated amortization model ----------------------------------------
+//
+// The planner predicts a launch's serial wall time as
+//
+//	predictedNs = estCyclesPerThread × threads × nsPerCycle
+//
+// where estCyclesPerThread is a per-program EWMA of observed simulated
+// cycles (updated by every completed launch) and nsPerCycle is a
+// process-wide EWMA of the serial engine's measured speed (updated by
+// every completed serial launch). The launch fans out only when the
+// predicted time funds at least two shards of shardAmortNs each —
+// otherwise the buffer-and-replay reduction tax exceeds the win, which is
+// exactly the CP/SAD regression class of the fixed-cutoff planner.
+
+// shardAmortNs is the per-shard amortization target in nanoseconds: the
+// minimum predicted serial wall time one worker's share must cover for
+// fan-out to pay for the goroutine handoff, shard staging, and ordered
+// reduction. Variable (atomically) so tests can pin the model's decisions.
+var shardAmortNs atomic.Int64
+
+const defaultShardAmortNs = 100_000
+
+// defaultNsPerCycle seeds predictions before the first completed serial
+// launch calibrates the engine speed on the running host (a few ns per
+// simulated cycle on commodity hardware; the seed only matters until the
+// first measurement lands).
+const defaultNsPerCycle = 4.0
+
+// calibEWMAWeight is the weight of a new observation in the calibration
+// EWMAs: heavy enough to track workload changes within a few launches,
+// light enough to smooth scheduler noise.
+const calibEWMAWeight = 0.3
+
+// nsPerCycleBits holds the process-wide engine-speed EWMA as float64 bits
+// (0 = no serial launch measured yet).
+var nsPerCycleBits atomic.Uint64
+
+// recordLaunchEstimate feeds one completed launch into the adaptive model:
+// the program's per-thread cycle EWMA always, and the engine-speed EWMA
+// when the caller measured wall time (parallel launches pass 0 — their
+// wall time does not reflect serial speed).
+func recordLaunchEstimate(p *program, threadCycles float64, threads int, elapsed time.Duration) {
+	if p == nil || threads <= 0 || threadCycles <= 0 {
+		return
+	}
+	ewmaStore(&p.estCycleBits, threadCycles/float64(threads))
+	if elapsed > 0 {
+		ewmaStore(&nsPerCycleBits, float64(elapsed.Nanoseconds())/threadCycles)
+	}
+}
+
+// ewmaStore folds one observation into a float64-bits EWMA cell (first
+// observation seeds it outright).
+func ewmaStore(bits *atomic.Uint64, obs float64) {
+	for {
+		old := bits.Load()
+		next := obs
+		if old != 0 {
+			prev := math.Float64frombits(old)
+			next = prev + calibEWMAWeight*(obs-prev)
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// EngineNsPerCycle reports the calibrated serial-engine speed in
+// wall-clock nanoseconds per simulated thread-cycle, or 0 before any
+// serial launch has completed.
+func EngineNsPerCycle() float64 {
+	if b := nsPerCycleBits.Load(); b != 0 {
+		return math.Float64frombits(b)
+	}
+	return 0
+}
 
 // launchPlan decides the execution strategy for one validated bytecode
 // launch. It returns the worker count (1 = serial), how many budget slots
 // were acquired (the caller must release them), and the mode label for
-// the hauberk_launch_modes_total metric.
-func (d *Device) launchPlan(spec *LaunchSpec) (workers, extra int, mode string) {
+// the hauberk_launch_modes_total metric. p may be nil (no estimate).
+func (d *Device) launchPlan(p *program, spec *LaunchSpec) (workers, extra int, mode string) {
 	switch {
 	case d.cfg.LaunchWorkers == 1:
 		return 1, 0, "serial-config"
@@ -154,12 +236,36 @@ func (d *Device) launchPlan(spec *LaunchSpec) (workers, extra int, mode string) 
 		return 1, 0, "serial-hooks"
 	case spec.Grid < 2:
 		return 1, 0, "serial-small"
-	case d.cfg.LaunchWorkers <= 0 && spec.Grid*spec.Block < minParallelThreads:
-		return 1, 0, "serial-small"
 	}
 	req := d.cfg.LaunchWorkers
 	if req <= 0 {
-		req = LaunchBudget() + 1
+		// Auto mode: consult the amortization model. The first launch of
+		// a program has no estimate and falls back to the thread-count
+		// bootstrap cutoff; afterwards the model sizes the shard count so
+		// each shard covers at least shardAmortNs of predicted work.
+		est := 0.0
+		if p != nil {
+			if b := p.estCycleBits.Load(); b != 0 {
+				est = math.Float64frombits(b)
+			}
+		}
+		if est == 0 {
+			if spec.Grid*spec.Block < minParallelThreads {
+				return 1, 0, "serial-small"
+			}
+			req = LaunchBudget() + 1
+		} else {
+			nspc := defaultNsPerCycle
+			if c := EngineNsPerCycle(); c != 0 {
+				nspc = c
+			}
+			predicted := est * float64(spec.Grid*spec.Block) * nspc
+			shards := int(predicted / float64(shardAmortNs.Load()))
+			if shards < 2 {
+				return 1, 0, "serial-amortize"
+			}
+			req = shards
+		}
 	}
 	if req > spec.Grid {
 		req = spec.Grid
@@ -193,14 +299,23 @@ type blockRun struct {
 	rec     *hookRecorder // nil when the launch has no hooks
 }
 
-// launchSched is the per-device scheduler state, reused across launches
-// so steady-state parallel launches allocate O(workers), not O(threads).
-// A Device is not safe for concurrent launches, so no locking is needed.
+// launchSched is the scheduler state of one parallel launch: a flat
+// per-thread cycle-sample arena, per-block run records, and per-block
+// hook-recorder buffers. Instances recycle through schedPool so
+// steady-state parallel launches allocate O(workers), not O(blocks) — and
+// nothing at all once the pool is warm.
 type launchSched struct {
 	samples []threadSample
 	runs    []blockRun
 	recs    []hookRecorder
 }
+
+// schedPool recycles launch-scheduler state across launches *and devices*:
+// SWIFI campaigns create a fresh Device per injection, so per-device
+// buffers would re-allocate every injection. The pool is process-wide and
+// the buffers (sample arena, run records, hook-event slices) keep their
+// capacity across uses.
+var schedPool = sync.Pool{New: func() any { return new(launchSched) }}
 
 // stage sizes the shard buffers for a grid×block launch.
 func (sc *launchSched) stage(grid, block int, record bool) {
@@ -238,10 +353,8 @@ func (sc *launchSched) stage(grid, block int, record bool) {
 // in deterministic block order. Eligibility was established by
 // launchPlan: no memory-fault overlay, pure-observer hooks only.
 func (d *Device) launchParallel(k *kir.Kernel, spec LaunchSpec, p *program, workers int) (*Result, error) {
-	if d.sched == nil {
-		d.sched = &launchSched{}
-	}
-	sc := d.sched
+	sc := schedPool.Get().(*launchSched)
+	defer schedPool.Put(sc)
 	record := spec.Hooks != nil
 	sc.stage(spec.Grid, spec.Block, record)
 
@@ -339,6 +452,9 @@ func (d *Device) launchParallel(k *kir.Kernel, spec LaunchSpec, p *program, work
 			return res, br.err
 		}
 	}
+	// Keep the program's cycle estimate fresh (no wall-time sample: a
+	// parallel launch's elapsed time says nothing about serial speed).
+	recordLaunchEstimate(p, sumThreadCycles, res.Threads, 0)
 	finishResult(res, d, sumWarpCycles, sumThreadCycles, sumLoopCycles)
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"hauberk/internal/kir"
 )
@@ -26,8 +27,8 @@ func forceBudget(t *testing.T, n int) {
 }
 
 // runSched executes one crafted kernel under the bytecode engine with the
-// given LaunchWorkers setting and returns every observable.
-func runSched(t *testing.T, tc diffCase, launchWorkers int) (res *Result, err error, arenas [][]uint32, log []string) {
+// given LaunchWorkers and fusion settings and returns every observable.
+func runSched(t *testing.T, tc diffCase, launchWorkers int, nofuse bool) (res *Result, err error, arenas [][]uint32, log []string) {
 	t.Helper()
 	b := kir.NewBuilder("sched")
 	tc.build(b)
@@ -35,6 +36,7 @@ func runSched(t *testing.T, tc diffCase, launchWorkers int) (res *Result, err er
 	cfg := tc.cfg
 	cfg.Interpreter = InterpreterBytecode
 	cfg.LaunchWorkers = launchWorkers
+	cfg.DisableFusion = nofuse
 	d := New(cfg)
 	if tc.setup == nil {
 		tc.setup = defaultDiffSetup
@@ -57,45 +59,57 @@ func assertParallelPlan(t *testing.T, tc diffCase, launchWorkers int) {
 	cfg.LaunchWorkers = launchWorkers
 	d := New(cfg)
 	spec := LaunchSpec{Grid: tc.grid, Block: tc.block, Hooks: &pureRecHooks{}}
-	workers, extra, mode := d.launchPlan(&spec)
+	workers, extra, mode := d.launchPlan(nil, &spec)
 	ReleaseLaunchSlots(extra)
 	if mode != "parallel" || workers < 2 {
 		t.Fatalf("launch plan = %d workers, mode %q; want the parallel path", workers, mode)
 	}
 }
 
-// diffSchedCase runs tc serially and in parallel and requires bit-identical
-// results. compareArenas is disabled for crash cases: a parallel launch may
-// have speculatively executed blocks after the failing one, so post-crash
-// device memory is explicitly indeterminate (DESIGN.md §5); everything
-// else — error classification and position, cycle bits, memory traffic,
-// hook sequence — must still match exactly.
+// diffSchedCase runs tc across the engine matrix — serial and parallel,
+// fused and unfused — and requires bit-identical results against the
+// serial fused baseline. compareArenas is disabled for crash cases: a
+// parallel launch may have speculatively executed blocks after the failing
+// one, so post-crash device memory is explicitly indeterminate (DESIGN.md
+// §5); everything else — error classification and position, cycle bits,
+// memory traffic, hook sequence — must still match exactly.
 func diffSchedCase(t *testing.T, tc diffCase, launchWorkers int, compareArenas bool) {
 	t.Helper()
 	assertParallelPlan(t, tc, launchWorkers)
-	sRes, sErr, sArenas, sLog := runSched(t, tc, 1)
-	pRes, pErr, pArenas, pLog := runSched(t, tc, launchWorkers)
+	sRes, sErr, sArenas, sLog := runSched(t, tc, 1, false)
+	variants := []struct {
+		name    string
+		workers int
+		nofuse  bool
+	}{
+		{"parallel-fused", launchWorkers, false},
+		{"serial-unfused", 1, true},
+		{"parallel-unfused", launchWorkers, true},
+	}
+	for _, v := range variants {
+		pRes, pErr, pArenas, pLog := runSched(t, tc, v.workers, v.nofuse)
 
-	if fmt.Sprint(sErr) != fmt.Sprint(pErr) {
-		t.Fatalf("error mismatch:\n  serial:   %v\n  parallel: %v", sErr, pErr)
-	}
-	if sErr != nil && reflect.TypeOf(sErr) != reflect.TypeOf(pErr) {
-		t.Fatalf("error type mismatch: serial %T, parallel %T", sErr, pErr)
-	}
-	if math.Float64bits(sRes.Cycles) != math.Float64bits(pRes.Cycles) ||
-		math.Float64bits(sRes.LoopCycles) != math.Float64bits(pRes.LoopCycles) ||
-		math.Float64bits(sRes.NonLoopCycles) != math.Float64bits(pRes.NonLoopCycles) {
-		t.Fatalf("cycles not bit-identical:\n  serial:   %+v\n  parallel: %+v", sRes, pRes)
-	}
-	if sRes.Loads != pRes.Loads || sRes.Stores != pRes.Stores ||
-		sRes.MaxLive != pRes.MaxLive || sRes.Spill != pRes.Spill || sRes.Threads != pRes.Threads {
-		t.Fatalf("result metadata mismatch:\n  serial:   %+v\n  parallel: %+v", sRes, pRes)
-	}
-	if compareArenas && !reflect.DeepEqual(sArenas, pArenas) {
-		t.Fatalf("buffer contents differ between serial and parallel runs")
-	}
-	if !reflect.DeepEqual(sLog, pLog) {
-		t.Fatalf("hook sequences differ:\n  serial:   %v\n  parallel: %v", sLog, pLog)
+		if fmt.Sprint(sErr) != fmt.Sprint(pErr) {
+			t.Fatalf("error mismatch:\n  serial-fused: %v\n  %s: %v", sErr, v.name, pErr)
+		}
+		if sErr != nil && reflect.TypeOf(sErr) != reflect.TypeOf(pErr) {
+			t.Fatalf("error type mismatch: serial-fused %T, %s %T", sErr, v.name, pErr)
+		}
+		if math.Float64bits(sRes.Cycles) != math.Float64bits(pRes.Cycles) ||
+			math.Float64bits(sRes.LoopCycles) != math.Float64bits(pRes.LoopCycles) ||
+			math.Float64bits(sRes.NonLoopCycles) != math.Float64bits(pRes.NonLoopCycles) {
+			t.Fatalf("cycles not bit-identical:\n  serial-fused: %+v\n  %s: %+v", sRes, v.name, pRes)
+		}
+		if sRes.Loads != pRes.Loads || sRes.Stores != pRes.Stores ||
+			sRes.MaxLive != pRes.MaxLive || sRes.Spill != pRes.Spill || sRes.Threads != pRes.Threads {
+			t.Fatalf("result metadata mismatch:\n  serial-fused: %+v\n  %s: %+v", sRes, v.name, pRes)
+		}
+		if compareArenas && !reflect.DeepEqual(sArenas, pArenas) {
+			t.Fatalf("buffer contents differ between serial-fused and %s runs", v.name)
+		}
+		if !reflect.DeepEqual(sLog, pLog) {
+			t.Fatalf("hook sequences differ:\n  serial-fused: %v\n  %s: %v", sLog, v.name, pLog)
+		}
 	}
 }
 
@@ -221,7 +235,7 @@ func TestParallelCrashFirstInBlockOrder(t *testing.T) {
 		}}
 	diffSchedCase(t, tc, 4, false)
 
-	_, err, _, _ := runSched(t, tc, 4)
+	_, err, _, _ := runSched(t, tc, 4, false)
 	ce, ok := err.(*CrashError)
 	if !ok {
 		t.Fatalf("want *CrashError, got %v", err)
@@ -252,7 +266,7 @@ func TestParallelHangMiddleBlock(t *testing.T) {
 		}}
 	diffSchedCase(t, tc, 3, false)
 
-	_, err, _, _ := runSched(t, tc, 3)
+	_, err, _, _ := runSched(t, tc, 3, false)
 	he, ok := err.(*HangError)
 	if !ok {
 		t.Fatalf("want *HangError, got %v", err)
@@ -276,7 +290,7 @@ func TestLaunchPlanFallbacks(t *testing.T) {
 		if mutate != nil {
 			mutate(d, &spec)
 		}
-		workers, extra, mode := d.launchPlan(&spec)
+		workers, extra, mode := d.launchPlan(nil, &spec)
 		ReleaseLaunchSlots(extra)
 		return workers, mode
 	}
@@ -452,3 +466,120 @@ func benchmarkLaunch(b *testing.B, launchWorkers int) {
 
 func BenchmarkLaunchSerial(b *testing.B)   { benchmarkLaunch(b, 1) }
 func BenchmarkLaunchParallel(b *testing.B) { benchmarkLaunch(b, 0) }
+
+// pinCalibration snapshots the process-wide adaptive-model state and
+// restores it when the test ends, so tests can set exact calibration values
+// without leaking them into the rest of the suite.
+func pinCalibration(t *testing.T) {
+	t.Helper()
+	savedNspc := nsPerCycleBits.Load()
+	savedAmort := shardAmortNs.Load()
+	t.Cleanup(func() {
+		nsPerCycleBits.Store(savedNspc)
+		shardAmortNs.Store(savedAmort)
+	})
+}
+
+// TestLaunchPlanAmortization pins the adaptive model's decisions with the
+// calibration state set explicitly: a launch whose predicted runtime cannot
+// fund two shards of shardAmortNs stays serial, and one that can goes
+// parallel with the shard-derived worker count, capped by the grid.
+func TestLaunchPlanAmortization(t *testing.T) {
+	forceBudget(t, 8)
+	pinCalibration(t)
+	nsPerCycleBits.Store(math.Float64bits(10)) // 10 ns per thread-cycle
+	shardAmortNs.Store(100_000)
+
+	d := New(DefaultConfig())
+	spec := LaunchSpec{Grid: 8, Block: 64, Hooks: &pureRecHooks{}} // 512 threads
+	plan := func(est float64) (int, string) {
+		p := &program{}
+		p.estCycleBits.Store(math.Float64bits(est))
+		workers, extra, mode := d.launchPlan(p, &spec)
+		ReleaseLaunchSlots(extra)
+		return workers, mode
+	}
+
+	// 10 cycles/thread × 512 threads × 10 ns = 51.2 µs predicted: under
+	// two 100 µs shards, the buffer-and-replay tax is not amortized.
+	if w, mode := plan(10); mode != "serial-amortize" || w != 1 {
+		t.Fatalf("cheap launch: workers=%d mode=%q, want 1/serial-amortize", w, mode)
+	}
+	// 100 cycles/thread × 512 × 10 ns = 512 µs: five 100 µs shards.
+	if w, mode := plan(100); mode != "parallel" || w != 5 {
+		t.Fatalf("expensive launch: workers=%d mode=%q, want 5 parallel workers", w, mode)
+	}
+	// A huge estimate is still capped by the grid.
+	if w, mode := plan(1e6); mode != "parallel" || w != 8 {
+		t.Fatalf("huge launch: workers=%d mode=%q, want grid-capped 8 workers", w, mode)
+	}
+}
+
+// TestRecordLaunchEstimate pins the EWMA calibration mechanics: the first
+// observation seeds the cell exactly, later ones blend at calibEWMAWeight,
+// and only launches with a measured wall time feed the engine-speed cell.
+func TestRecordLaunchEstimate(t *testing.T) {
+	pinCalibration(t)
+	nsPerCycleBits.Store(0)
+	p := &program{}
+
+	recordLaunchEstimate(p, 6400, 64, 0)
+	if got := math.Float64frombits(p.estCycleBits.Load()); got != 100 {
+		t.Fatalf("first observation: est = %v, want exact seed 100", got)
+	}
+	if nsPerCycleBits.Load() != 0 {
+		t.Fatalf("zero-elapsed launch updated the engine-speed EWMA")
+	}
+
+	recordLaunchEstimate(p, 12800, 64, 0) // obs 200
+	want := (1-calibEWMAWeight)*100 + calibEWMAWeight*200
+	if got := math.Float64frombits(p.estCycleBits.Load()); got != want {
+		t.Fatalf("second observation: est = %v, want EWMA blend %v", got, want)
+	}
+
+	recordLaunchEstimate(p, 1000, 1, 5*time.Microsecond)
+	if got := EngineNsPerCycle(); got != 5 {
+		t.Fatalf("measured launch: ns/cycle = %v, want exact seed 5", got)
+	}
+}
+
+// TestSubThresholdLaunchSkipsReplayTax pins the regression class that
+// motivated the amortization model (CP- and SAD-shaped workloads): once the
+// model knows a program is too cheap to shard, auto-mode launches go serial
+// — the plan reports serial-amortize and a warm launch pays only the serial
+// allocation budget, never the shard-buffer-and-replay tax.
+func TestSubThresholdLaunchSkipsReplayTax(t *testing.T) {
+	forceBudget(t, 8)
+	pinCalibration(t)
+
+	d, k, spec := launchAllocKernel(t, 8, 64, 0) // auto mode, 512 threads
+	for i := 0; i < 3; i++ {                     // warm cache, pools, and the estimate
+		if _, err := d.Launch(k, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, hit := programFor(k, d.cfg)
+	if !hit {
+		t.Fatal("program not cached after warm launches")
+	}
+	if p.estCycleBits.Load() == 0 {
+		t.Fatal("warm launches recorded no cycle estimate")
+	}
+	// Pin the amortization target far above anything this kernel can
+	// predict, so the decision is host-speed independent.
+	shardAmortNs.Store(1_000_000_000_000)
+
+	workers, extra, mode := d.launchPlan(p, &spec)
+	ReleaseLaunchSlots(extra)
+	if workers != 1 || mode != "serial-amortize" {
+		t.Fatalf("sub-threshold warm plan: workers=%d mode=%q, want 1/serial-amortize", workers, mode)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := d.Launch(k, spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("sub-threshold auto launch allocates %.1f objects/launch, want <= 4 (pure serial path)", allocs)
+	}
+}

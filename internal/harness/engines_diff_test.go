@@ -66,10 +66,11 @@ type engineRun struct {
 	events []hookEvent
 }
 
-func runEngine(t *testing.T, interp gpu.Interpreter, k *kir.Kernel, spec *workloads.Spec) engineRun {
+func runEngine(t *testing.T, interp gpu.Interpreter, nofuse bool, k *kir.Kernel, spec *workloads.Spec) engineRun {
 	t.Helper()
 	cfg := gpu.DefaultConfig()
 	cfg.Interpreter = interp
+	cfg.DisableFusion = nofuse
 	d := gpu.New(cfg)
 	inst := spec.Setup(d, workloads.Dataset{Index: 0})
 	hooks := &diffHooks{}
@@ -84,10 +85,10 @@ func runEngine(t *testing.T, interp gpu.Interpreter, k *kir.Kernel, spec *worklo
 
 // TestEnginesBitIdentical is the bytecode engine's differential oracle: for
 // every evaluation workload (7 HPC + 2 graphics), original and under every
-// translator instrumentation mode, the bytecode engine and the tree-walker
-// must agree bit-for-bit on outputs, total/loop/non-loop cycle counts,
-// memory traffic, the complete detector/FI hook call sequence, and the
-// crash/hang classification.
+// translator instrumentation mode, the fused bytecode engine, the unfused
+// bytecode stream, and the tree-walker must agree bit-for-bit on outputs,
+// total/loop/non-loop cycle counts, memory traffic, the complete
+// detector/FI hook call sequence, and the crash/hang classification.
 func TestEnginesBitIdentical(t *testing.T) {
 	specs := append(workloads.HPC(), workloads.Graphics()...)
 	modes := []translate.Mode{
@@ -110,9 +111,11 @@ func TestEnginesBitIdentical(t *testing.T) {
 					k = tr.Kernel
 				}
 
-				bc := runEngine(t, gpu.InterpreterBytecode, k, spec)
-				tw := runEngine(t, gpu.InterpreterTree, k, spec)
+				bc := runEngine(t, gpu.InterpreterBytecode, false, k, spec)
+				un := runEngine(t, gpu.InterpreterBytecode, true, k, spec)
+				tw := runEngine(t, gpu.InterpreterTree, false, k, spec)
 
+				compareRuns(t, bc, un)
 				compareRuns(t, bc, tw)
 			})
 		}

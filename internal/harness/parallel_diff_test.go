@@ -16,11 +16,12 @@ type pureDiffHooks struct{ diffHooks }
 
 func (h *pureDiffHooks) PureObserverHooks() bool { return true }
 
-func runParallelEngine(t *testing.T, launchWorkers int, k *kir.Kernel, spec *workloads.Spec) engineRun {
+func runParallelEngine(t *testing.T, launchWorkers int, nofuse bool, k *kir.Kernel, spec *workloads.Spec) engineRun {
 	t.Helper()
 	cfg := gpu.DefaultConfig()
 	cfg.Interpreter = gpu.InterpreterBytecode
 	cfg.LaunchWorkers = launchWorkers
+	cfg.DisableFusion = nofuse
 	d := gpu.New(cfg)
 	inst := spec.Setup(d, workloads.Dataset{Index: 0})
 	hooks := &pureDiffHooks{}
@@ -68,10 +69,12 @@ func TestParallelLaunchBitIdentical(t *testing.T) {
 				// (bypassing the small-launch cutoff: RPES runs 3 blocks of
 				// 64, TPACF 2 of 32), so every workload exercises the
 				// sharded path regardless of size.
-				par := runParallelEngine(t, 4, k, spec)
-				ser := runParallelEngine(t, 1, k, spec)
+				par := runParallelEngine(t, 4, false, k, spec)
+				ser := runParallelEngine(t, 1, false, k, spec)
+				parUnfused := runParallelEngine(t, 4, true, k, spec)
 
 				compareRuns(t, par, ser)
+				compareRuns(t, par, parUnfused)
 			})
 		}
 	}
