@@ -28,7 +28,13 @@
 //
 // -engine selects the kernel execution engine: the compiled bytecode
 // engine (default, with superinstruction fusion), the same engine with
-// fusion disabled (unfused), or the tree-walking interpreter both replaced.
+// fusion disabled (unfused), the tree-walking interpreter both replaced
+// (tree), or the warp-vectorized dispatcher (warp: 32 lanes per
+// instruction decode, bit-identical to the scalar engines; launches that
+// need live serial-order hook delivery — fault overlays, mutating probes —
+// transparently degrade to scalar serial). The default bytecode engine
+// picks between scalar and warp dispatch adaptively per launch, using the
+// calibrated ns/cycle of each engine; -engine warp forces warp dispatch.
 //
 // -workers sizes campaign/profiling parallelism and -launch-workers the
 // per-launch block-shard pool of the bytecode engine; both draw extra
@@ -104,7 +110,7 @@ func run() int {
 		saveRanges  = flag.String("save-ranges", "", "write the (possibly on-line-updated) value ranges to this JSON file at exit")
 		tracePath   = flag.String("trace", "", "write a JSONL telemetry event journal to this file")
 		metricsPath = flag.String("metrics", "", "dump Prometheus-text metrics to this file at exit")
-		engine      = flag.String("engine", "bytecode", "kernel execution engine: bytecode (fused), unfused (bytecode without superinstruction fusion), or tree")
+		engine      = flag.String("engine", "bytecode", "kernel execution engine: bytecode (fused, adaptive scalar/warp dispatch), unfused (bytecode without superinstruction fusion), tree, or warp (forced warp-vectorized dispatch)")
 		workers     = flag.Int("workers", 0, "campaign/profiling worker goroutines (0 = one per CPU, shared with -launch-workers)")
 		launchWork  = flag.Int("launch-workers", 0, "per-launch block-shard workers (0 = machine-sized, 1 = serial, >1 = explicit; bytecode engine only)")
 		budget      = flag.Int("worker-budget", -1, "process-wide extra-worker budget shared by campaign and launch parallelism (-1 = NumCPU-1)")
@@ -150,6 +156,7 @@ func run() int {
 
 	var interp gpu.Interpreter
 	var nofuse bool
+	var warpMode gpu.WarpMode
 	switch *engine {
 	case "bytecode":
 		interp = gpu.InterpreterBytecode
@@ -158,6 +165,15 @@ func run() int {
 		nofuse = true
 	case "tree":
 		interp = gpu.InterpreterTree
+	case "warp":
+		interp = gpu.InterpreterBytecode
+		warpMode = gpu.WarpOn
+		if *launchWork == 0 {
+			// Forced warp dispatch defaults to the single-worker warp
+			// driver; an explicit -launch-workers still shards blocks, each
+			// shard iterating warps ("warp-parallel").
+			*launchWork = 1
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
 		return 2
@@ -260,6 +276,7 @@ func run() int {
 	env.Config.Interpreter = interp
 	env.Config.DisableFusion = nofuse
 	env.Config.LaunchWorkers = *launchWork
+	env.Config.Warp = warpMode
 	env.Scale.Workers = *workers
 	ds := workloads.Dataset{Index: *dataset}
 
@@ -316,7 +333,7 @@ func run() int {
 	// with a known output. A persistent fault lives in device 0's
 	// hardware, so the self test fails there and the recovery engine
 	// migrates the program.
-	devPool := makeDevices(*devices, interp, nofuse, *launchWork)
+	devPool := makeDevices(*devices, interp, nofuse, *launchWork, warpMode)
 	faulty := devPool[0]
 	selfTest := func(d *gpu.Device) bool {
 		if *persistent && d == faulty {
@@ -505,11 +522,12 @@ func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, d
 	return 0
 }
 
-func makeDevices(n int, interp gpu.Interpreter, nofuse bool, launchWorkers int) []*gpu.Device {
+func makeDevices(n int, interp gpu.Interpreter, nofuse bool, launchWorkers int, warp gpu.WarpMode) []*gpu.Device {
 	cfg := gpu.DefaultConfig()
 	cfg.Interpreter = interp
 	cfg.DisableFusion = nofuse
 	cfg.LaunchWorkers = launchWorkers
+	cfg.Warp = warp
 	out := make([]*gpu.Device, n)
 	for i := range out {
 		out[i] = gpu.New(cfg)

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"math"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 // flat dispatch in (*bcThread).run.
 func (d *Device) launchBytecode(k *kir.Kernel, spec LaunchSpec) (*Result, error) {
 	p, hit := programFor(k, d.cfg)
-	workers, extra, mode := d.launchPlan(p, &spec)
+	workers, extra, useWarp, mode := d.launchPlan(p, &spec)
 	if spec.Obs.Enabled() {
 		result := "miss"
 		if hit {
@@ -24,7 +25,7 @@ func (d *Device) launchBytecode(k *kir.Kernel, spec LaunchSpec) (*Result, error)
 		m.Counter("hauberk_program_cache_total",
 			"kernel", k.Name, "result", result).Inc()
 		m.Help("hauberk_launch_modes_total",
-			"launch scheduling decisions: parallel block sharding vs serial fallbacks")
+			"launch scheduling decisions: warp vectorization, parallel block sharding, and serial fallbacks")
 		m.Counter("hauberk_launch_modes_total", "kernel", k.Name, "mode", mode).Inc()
 		if workers > 1 {
 			m.Help("hauberk_launch_shard_workers_total",
@@ -34,7 +35,10 @@ func (d *Device) launchBytecode(k *kir.Kernel, spec LaunchSpec) (*Result, error)
 	}
 	if workers > 1 {
 		defer ReleaseLaunchSlots(extra)
-		return d.launchParallel(k, spec, p, workers)
+		return d.launchParallel(k, spec, p, workers, useWarp)
+	}
+	if useWarp {
+		return d.launchWarp(k, spec, p)
 	}
 
 	res := &Result{Threads: spec.Grid * spec.Block, MaxLive: p.maxLive, Spill: p.spillExtra > 0}
@@ -692,21 +696,56 @@ loop:
 // in.a interpreted per in.c, divided by a non-zero count in slot in.b (-1:
 // no count). Reads charge nothing.
 func (t *bcThread) averagedSlots(in *inst) float64 {
-	var v float64
-	switch in.c {
-	case avgF32:
-		v = float64(math.Float32frombits(t.regs[in.a]))
-	case avgU32:
-		v = float64(t.regs[in.a])
-	default:
-		v = float64(int32(t.regs[in.a]))
-	}
+	v := avgConvert(in.c, t.regs[in.a])
 	if in.b >= 0 {
-		if n := int32(t.regs[in.b]); n != 0 {
-			v /= float64(n)
-		}
+		v = avgDivide(v, int32(t.regs[in.b]))
 	}
 	return v
+}
+
+// recipPow2 holds the exact reciprocals of the positive power-of-two int32
+// counts (1/2^k for k in [0, 30]), precomputed once so the hot averaged()
+// path multiplies instead of divides. Every entry is a power of two, hence
+// exactly representable; see avgDivide for why the substitution is
+// bit-identical.
+var recipPow2 = func() (t [31]float64) {
+	for k := range t {
+		t[k] = 1 / float64(uint32(1)<<uint(k))
+	}
+	return
+}()
+
+// avgConvert interprets a raw accumulator word per the averaging kind
+// (opRangeCheck / opProfileSample operand c).
+func avgConvert(kind int32, raw uint32) float64 {
+	switch kind {
+	case avgF32:
+		return float64(math.Float32frombits(raw))
+	case avgU32:
+		return float64(raw)
+	}
+	return float64(int32(raw))
+}
+
+// avgDivide divides an averaged accumulator by its count, mirroring the
+// tree-walker's `v /= float64(n)` (n == 0: no division). Counts are runtime
+// loop-trip registers — and under fault injection a corrupted word — so
+// they cannot be folded at compile time; instead positive power-of-two
+// counts (the overwhelmingly common case: detectors sample power-of-two
+// windows) take a precomputed-reciprocal multiply. IEEE 754 division and
+// multiplication are both correctly rounded, and for d an exact power of
+// two, v/d and v*(1/d) share the same exact quotient value scaled by a
+// power of two, so they round identically for every v (including
+// subnormals, infinities, and NaN) — the substitution is bit-identical,
+// which the differential suites pin against the tree-walker oracle.
+func avgDivide(v float64, n int32) float64 {
+	if n == 0 {
+		return v
+	}
+	if u := uint32(n); n > 0 && u&(u-1) == 0 {
+		return v * recipPow2[bits.TrailingZeros32(u)]
+	}
+	return v / float64(n)
 }
 
 func b2u(b bool) uint32 {

@@ -78,6 +78,7 @@ func TestLaunchPanickingHookParallelReplay(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Interpreter = InterpreterBytecode
 	cfg.LaunchWorkers = 4
+	cfg.Warp = WarpOff // pin the scalar parallel path; warp replay panics are covered in wexec_test.go
 	d := New(cfg)
 	buf := d.Alloc("out", kir.F32, 64)
 	hooks := &purePanicHooks{}
@@ -85,7 +86,7 @@ func TestLaunchPanickingHookParallelReplay(t *testing.T) {
 
 	// The panic must actually cross the parallel path, or this test
 	// silently degrades into a second copy of the serial one.
-	workers, extra, mode := d.launchPlan(nil, &spec)
+	workers, extra, _, mode := d.launchPlan(nil, &spec)
 	ReleaseLaunchSlots(extra)
 	if mode != "parallel" || workers < 2 {
 		t.Fatalf("launch plan = %d workers, mode %q; want the parallel path", workers, mode)

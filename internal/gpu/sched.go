@@ -178,6 +178,13 @@ const calibEWMAWeight = 0.3
 // (0 = no serial launch measured yet).
 var nsPerCycleBits atomic.Uint64
 
+// warpNsPerCycleBits is the same EWMA for the warp-vectorized engine,
+// calibrated by completed single-worker warp launches. Keeping the two
+// engines' speeds in separate cells lets the planner compare them per
+// launch: warp wins on wide, convergent blocks and loses to scalar
+// dispatch on narrow or heavily divergent ones.
+var warpNsPerCycleBits atomic.Uint64
+
 // recordLaunchEstimate feeds one completed launch into the adaptive model:
 // the program's per-thread cycle EWMA always, and the engine-speed EWMA
 // when the caller measured wall time (parallel launches pass 0 — their
@@ -189,6 +196,19 @@ func recordLaunchEstimate(p *program, threadCycles float64, threads int, elapsed
 	ewmaStore(&p.estCycleBits, threadCycles/float64(threads))
 	if elapsed > 0 {
 		ewmaStore(&nsPerCycleBits, float64(elapsed.Nanoseconds())/threadCycles)
+	}
+}
+
+// recordWarpLaunchEstimate is recordLaunchEstimate for the warp engine:
+// the per-program cycle EWMA is shared (simulated cycles do not depend on
+// the engine), the speed observation lands in the warp cell.
+func recordWarpLaunchEstimate(p *program, threadCycles float64, threads int, elapsed time.Duration) {
+	if p == nil || threads <= 0 || threadCycles <= 0 {
+		return
+	}
+	ewmaStore(&p.estCycleBits, threadCycles/float64(threads))
+	if elapsed > 0 {
+		ewmaStore(&warpNsPerCycleBits, float64(elapsed.Nanoseconds())/threadCycles)
 	}
 }
 
@@ -218,31 +238,91 @@ func EngineNsPerCycle() float64 {
 	return 0
 }
 
+// WarpNsPerCycle reports the calibrated warp-engine speed the same way,
+// or 0 before any single-worker warp launch has completed.
+func WarpNsPerCycle() float64 {
+	if b := warpNsPerCycleBits.Load(); b != 0 {
+		return math.Float64frombits(b)
+	}
+	return 0
+}
+
+// warpMinLanes is the narrowest block the auto planner vectorizes: below
+// it most of a warp's 32 lanes sit idle and the decode amortization cannot
+// pay for the struct-of-arrays staging. WarpOn bypasses the cutoff.
+const warpMinLanes = 8
+
+// warpPick decides whether a launch that is semantically eligible for
+// buffered hook delivery should run on the warp engine. In auto mode the
+// decision is calibrated: an uncalibrated engine pair optimistically runs
+// warp (the completed launch then measures it); once both EWMAs hold
+// observations the faster engine wins, so a workload that diverges too
+// hard for lockstep execution drifts back to scalar dispatch.
+func (d *Device) warpPick(spec *LaunchSpec) bool {
+	if d.fault != nil || !HooksArePure(spec.Hooks) {
+		// SWIFI overlays and mutating probes need live serial-order
+		// delivery; the warp engine buffers and replays.
+		return false
+	}
+	switch d.cfg.Warp {
+	case WarpOn:
+		return true
+	case WarpOff:
+		return false
+	}
+	if d.cfg.LaunchWorkers == 1 {
+		// An explicit serial config pins the scalar engine (benchmarks and
+		// differential baselines depend on it); only WarpOn overrides.
+		return false
+	}
+	if spec.Block < warpMinLanes {
+		return false
+	}
+	w, s := WarpNsPerCycle(), EngineNsPerCycle()
+	if w == 0 || s == 0 {
+		return true
+	}
+	return w < s
+}
+
 // launchPlan decides the execution strategy for one validated bytecode
 // launch. It returns the worker count (1 = serial), how many budget slots
-// were acquired (the caller must release them), and the mode label for
-// the hauberk_launch_modes_total metric. p may be nil (no estimate).
-func (d *Device) launchPlan(p *program, spec *LaunchSpec) (workers, extra int, mode string) {
+// were acquired (the caller must release them), whether the selected
+// engine is warp-vectorized, and the mode label for the
+// hauberk_launch_modes_total metric. p may be nil (no estimate).
+//
+// The warp and sharding decisions compose: a single-worker warp launch
+// reports mode "warp", a block-sharded one "warp-parallel" (each shard
+// then iterates warps instead of threads — see runBlockShardWarp).
+func (d *Device) launchPlan(p *program, spec *LaunchSpec) (workers, extra int, useWarp bool, mode string) {
+	useWarp = d.warpPick(spec)
+	serial := func(reason string) (int, int, bool, string) {
+		if useWarp {
+			return 1, 0, true, "warp"
+		}
+		return 1, 0, false, reason
+	}
 	switch {
 	case d.cfg.LaunchWorkers == 1:
-		return 1, 0, "serial-config"
+		return serial("serial-config")
 	case d.fault != nil:
 		// SetMemFault overlays model value-dependent intermittent faults;
 		// their observation order must match serial execution.
-		return 1, 0, "serial-fault"
+		return 1, 0, false, "serial-fault"
 	case spec.Hooks != nil && !HooksArePure(spec.Hooks):
 		// A mutating Probe (fault injector) needs live, serial-order
 		// delivery; buffered replay cannot feed values back.
-		return 1, 0, "serial-hooks"
+		return 1, 0, false, "serial-hooks"
 	case spec.Grid < 2:
-		return 1, 0, "serial-small"
+		return serial("serial-small")
 	}
 	req := d.cfg.LaunchWorkers
 	if req <= 0 {
 		// Auto mode: consult the amortization model. The first launch of
 		// a program has no estimate and falls back to the thread-count
 		// bootstrap cutoff; afterwards the model sizes the shard count so
-		// each shard covers at least shardAmortNs of predicted work.
+		// each shard covers at least shardAmortNs of predicted work,
+		// priced at the speed of the engine actually selected.
 		est := 0.0
 		if p != nil {
 			if b := p.estCycleBits.Load(); b != 0 {
@@ -251,18 +331,22 @@ func (d *Device) launchPlan(p *program, spec *LaunchSpec) (workers, extra int, m
 		}
 		if est == 0 {
 			if spec.Grid*spec.Block < minParallelThreads {
-				return 1, 0, "serial-small"
+				return serial("serial-small")
 			}
 			req = LaunchBudget() + 1
 		} else {
 			nspc := defaultNsPerCycle
-			if c := EngineNsPerCycle(); c != 0 {
+			if useWarp {
+				if c := WarpNsPerCycle(); c != 0 {
+					nspc = c
+				}
+			} else if c := EngineNsPerCycle(); c != 0 {
 				nspc = c
 			}
 			predicted := est * float64(spec.Grid*spec.Block) * nspc
 			shards := int(predicted / float64(shardAmortNs.Load()))
 			if shards < 2 {
-				return 1, 0, "serial-amortize"
+				return serial("serial-amortize")
 			}
 			req = shards
 		}
@@ -271,13 +355,16 @@ func (d *Device) launchPlan(p *program, spec *LaunchSpec) (workers, extra int, m
 		req = spec.Grid
 	}
 	if req <= 1 {
-		return 1, 0, "serial-budget"
+		return serial("serial-budget")
 	}
 	extra = AcquireLaunchSlots(req - 1)
 	if extra == 0 {
-		return 1, 0, "serial-budget"
+		return serial("serial-budget")
 	}
-	return 1 + extra, extra, "parallel"
+	if useWarp {
+		return 1 + extra, extra, true, "warp-parallel"
+	}
+	return 1 + extra, extra, false, "parallel"
 }
 
 // --- per-block shard state ------------------------------------------------
@@ -351,8 +438,11 @@ func (sc *launchSched) stage(grid, block int, record bool) {
 // launchParallel executes a validated launch by sharding blocks over
 // workers goroutines (including the calling one) and reducing the results
 // in deterministic block order. Eligibility was established by
-// launchPlan: no memory-fault overlay, pure-observer hooks only.
-func (d *Device) launchParallel(k *kir.Kernel, spec LaunchSpec, p *program, workers int) (*Result, error) {
+// launchPlan: no memory-fault overlay, pure-observer hooks only. With
+// useWarp each shard iterates its blocks warp by warp on the vectorized
+// engine; the recorded per-thread samples are identical either way, so
+// the reducer below is engine-agnostic.
+func (d *Device) launchParallel(k *kir.Kernel, spec LaunchSpec, p *program, workers int, useWarp bool) (*Result, error) {
 	sc := schedPool.Get().(*launchSched)
 	defer schedPool.Put(sc)
 	record := spec.Hooks != nil
@@ -368,6 +458,18 @@ func (d *Device) launchParallel(k *kir.Kernel, spec LaunchSpec, p *program, work
 	failBlk.Store(int64(spec.Grid))
 
 	shard := func() {
+		if useWarp {
+			w := d.getWarpExec(k, p, &spec, true)
+			for {
+				blk := int(nextBlk.Add(1)) - 1
+				if blk >= spec.Grid || int64(blk) > failBlk.Load() {
+					break
+				}
+				d.runBlockShardWarp(w, blk, &sc.runs[blk], &failBlk)
+			}
+			putWarpExec(w)
+			return
+		}
 		t := bcThread{
 			d:      d,
 			p:      p,

@@ -27,8 +27,9 @@ func forceBudget(t *testing.T, n int) {
 }
 
 // runSched executes one crafted kernel under the bytecode engine with the
-// given LaunchWorkers and fusion settings and returns every observable.
-func runSched(t *testing.T, tc diffCase, launchWorkers int, nofuse bool) (res *Result, err error, arenas [][]uint32, log []string) {
+// given LaunchWorkers, fusion, and warp settings and returns every
+// observable.
+func runSched(t *testing.T, tc diffCase, launchWorkers int, nofuse bool, warp WarpMode) (res *Result, err error, arenas [][]uint32, log []string) {
 	t.Helper()
 	b := kir.NewBuilder("sched")
 	tc.build(b)
@@ -37,6 +38,7 @@ func runSched(t *testing.T, tc diffCase, launchWorkers int, nofuse bool) (res *R
 	cfg.Interpreter = InterpreterBytecode
 	cfg.LaunchWorkers = launchWorkers
 	cfg.DisableFusion = nofuse
+	cfg.Warp = warp
 	d := New(cfg)
 	if tc.setup == nil {
 		tc.setup = defaultDiffSetup
@@ -51,43 +53,57 @@ func runSched(t *testing.T, tc diffCase, launchWorkers int, nofuse bool) (res *R
 }
 
 // assertParallelPlan fails the test unless a launch shaped like tc would
-// actually take the parallel path under the current budget.
+// actually take the scalar parallel path (and, with warp forced on, the
+// warp-parallel path) under the current budget.
 func assertParallelPlan(t *testing.T, tc diffCase, launchWorkers int) {
 	t.Helper()
 	cfg := tc.cfg
 	cfg.Interpreter = InterpreterBytecode
 	cfg.LaunchWorkers = launchWorkers
+	cfg.Warp = WarpOff
 	d := New(cfg)
 	spec := LaunchSpec{Grid: tc.grid, Block: tc.block, Hooks: &pureRecHooks{}}
-	workers, extra, mode := d.launchPlan(nil, &spec)
+	workers, extra, useWarp, mode := d.launchPlan(nil, &spec)
 	ReleaseLaunchSlots(extra)
-	if mode != "parallel" || workers < 2 {
+	if mode != "parallel" || workers < 2 || useWarp {
 		t.Fatalf("launch plan = %d workers, mode %q; want the parallel path", workers, mode)
+	}
+	d.cfg.Warp = WarpOn
+	workers, extra, useWarp, mode = d.launchPlan(nil, &spec)
+	ReleaseLaunchSlots(extra)
+	if mode != "warp-parallel" || workers < 2 || !useWarp {
+		t.Fatalf("warp launch plan = %d workers, mode %q; want the warp-parallel path", workers, mode)
 	}
 }
 
-// diffSchedCase runs tc across the engine matrix — serial and parallel,
-// fused and unfused — and requires bit-identical results against the
-// serial fused baseline. compareArenas is disabled for crash cases: a
-// parallel launch may have speculatively executed blocks after the failing
-// one, so post-crash device memory is explicitly indeterminate (DESIGN.md
-// §5); everything else — error classification and position, cycle bits,
-// memory traffic, hook sequence — must still match exactly.
+// diffSchedCase runs tc across the engine matrix — serial, parallel, warp,
+// and warp-parallel, fused and unfused — and requires bit-identical results
+// against the serial fused baseline. compareArenas is disabled for crash
+// cases: a parallel launch may have speculatively executed blocks after the
+// failing one (and a warp group speculatively executes lanes after a
+// failing one), so post-crash device memory is explicitly indeterminate
+// (DESIGN.md §5); everything else — error classification and position,
+// cycle bits, memory traffic, hook sequence — must still match exactly.
 func diffSchedCase(t *testing.T, tc diffCase, launchWorkers int, compareArenas bool) {
 	t.Helper()
 	assertParallelPlan(t, tc, launchWorkers)
-	sRes, sErr, sArenas, sLog := runSched(t, tc, 1, false)
+	sRes, sErr, sArenas, sLog := runSched(t, tc, 1, false, WarpOff)
 	variants := []struct {
 		name    string
 		workers int
 		nofuse  bool
+		warp    WarpMode
 	}{
-		{"parallel-fused", launchWorkers, false},
-		{"serial-unfused", 1, true},
-		{"parallel-unfused", launchWorkers, true},
+		{"parallel-fused", launchWorkers, false, WarpOff},
+		{"serial-unfused", 1, true, WarpOff},
+		{"parallel-unfused", launchWorkers, true, WarpOff},
+		{"warp-fused", 1, false, WarpOn},
+		{"warp-unfused", 1, true, WarpOn},
+		{"warp-parallel-fused", launchWorkers, false, WarpOn},
+		{"warp-parallel-unfused", launchWorkers, true, WarpOn},
 	}
 	for _, v := range variants {
-		pRes, pErr, pArenas, pLog := runSched(t, tc, v.workers, v.nofuse)
+		pRes, pErr, pArenas, pLog := runSched(t, tc, v.workers, v.nofuse, v.warp)
 
 		if fmt.Sprint(sErr) != fmt.Sprint(pErr) {
 			t.Fatalf("error mismatch:\n  serial-fused: %v\n  %s: %v", sErr, v.name, pErr)
@@ -235,7 +251,7 @@ func TestParallelCrashFirstInBlockOrder(t *testing.T) {
 		}}
 	diffSchedCase(t, tc, 4, false)
 
-	_, err, _, _ := runSched(t, tc, 4, false)
+	_, err, _, _ := runSched(t, tc, 4, false, WarpOff)
 	ce, ok := err.(*CrashError)
 	if !ok {
 		t.Fatalf("want *CrashError, got %v", err)
@@ -266,7 +282,7 @@ func TestParallelHangMiddleBlock(t *testing.T) {
 		}}
 	diffSchedCase(t, tc, 3, false)
 
-	_, err, _, _ := runSched(t, tc, 3, false)
+	_, err, _, _ := runSched(t, tc, 3, false, WarpOff)
 	he, ok := err.(*HangError)
 	if !ok {
 		t.Fatalf("want *HangError, got %v", err)
@@ -285,12 +301,13 @@ func TestLaunchPlanFallbacks(t *testing.T) {
 
 	plan := func(mutate func(d *Device, spec *LaunchSpec)) (int, string) {
 		cfg := DefaultConfig()
+		cfg.Warp = WarpOff // scalar-path pins; warp selection has its own test
 		d := New(cfg)
 		spec := base
 		if mutate != nil {
 			mutate(d, &spec)
 		}
-		workers, extra, mode := d.launchPlan(nil, &spec)
+		workers, extra, _, mode := d.launchPlan(nil, &spec)
 		ReleaseLaunchSlots(extra)
 		return workers, mode
 	}
@@ -409,6 +426,7 @@ func launchAllocKernel(tb testing.TB, grid, block, launchWorkers int) (*Device, 
 	k := b.Kernel()
 	cfg := DefaultConfig()
 	cfg.LaunchWorkers = launchWorkers
+	cfg.Warp = WarpOff // scalar-engine pins; warp has its own alloc test
 	d := New(cfg)
 	buf := d.Alloc("out", kir.F32, grid*block)
 	return d, k, LaunchSpec{Grid: grid, Block: block, Args: []Arg{BufArg(buf)}}
@@ -473,9 +491,11 @@ func BenchmarkLaunchParallel(b *testing.B) { benchmarkLaunch(b, 0) }
 func pinCalibration(t *testing.T) {
 	t.Helper()
 	savedNspc := nsPerCycleBits.Load()
+	savedWarp := warpNsPerCycleBits.Load()
 	savedAmort := shardAmortNs.Load()
 	t.Cleanup(func() {
 		nsPerCycleBits.Store(savedNspc)
+		warpNsPerCycleBits.Store(savedWarp)
 		shardAmortNs.Store(savedAmort)
 	})
 }
@@ -490,12 +510,14 @@ func TestLaunchPlanAmortization(t *testing.T) {
 	nsPerCycleBits.Store(math.Float64bits(10)) // 10 ns per thread-cycle
 	shardAmortNs.Store(100_000)
 
-	d := New(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Warp = WarpOff // scalar amortization pins; the warp boundary has its own test
+	d := New(cfg)
 	spec := LaunchSpec{Grid: 8, Block: 64, Hooks: &pureRecHooks{}} // 512 threads
 	plan := func(est float64) (int, string) {
 		p := &program{}
 		p.estCycleBits.Store(math.Float64bits(est))
-		workers, extra, mode := d.launchPlan(p, &spec)
+		workers, extra, _, mode := d.launchPlan(p, &spec)
 		ReleaseLaunchSlots(extra)
 		return workers, mode
 	}
@@ -569,7 +591,7 @@ func TestSubThresholdLaunchSkipsReplayTax(t *testing.T) {
 	// predict, so the decision is host-speed independent.
 	shardAmortNs.Store(1_000_000_000_000)
 
-	workers, extra, mode := d.launchPlan(p, &spec)
+	workers, extra, _, mode := d.launchPlan(p, &spec)
 	ReleaseLaunchSlots(extra)
 	if workers != 1 || mode != "serial-amortize" {
 		t.Fatalf("sub-threshold warm plan: workers=%d mode=%q, want 1/serial-amortize", workers, mode)

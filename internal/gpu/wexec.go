@@ -1,0 +1,1777 @@
+package gpu
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hauberk/internal/kir"
+)
+
+// This file is the warp-vectorized bytecode engine: it executes up to 32
+// threads of a block (one hardware warp) in lockstep through the fused
+// bytecode, paying one instruction fetch and one dispatch per *warp* per
+// instruction instead of per thread. Lane state is struct-of-arrays — for
+// register slot s, lane l lives at regs[s*warpWidth+l] — so the per-lane
+// inner loops walk contiguous memory.
+//
+// Determinism contract (extends bytecode.go): a warp launch is bit-identical
+// to the serial engine in outputs, float64 cycle accounting, hook call
+// sequences, and crash/hang attribution. The engine earns this lane-wise:
+//
+//  1. Each lane executes exactly the serial instruction sequence its thread
+//     would, with the same per-instruction charges accumulated into the
+//     lane's own float64 cells — so each thread's cycle total is the same
+//     sum in the same order as a serial run.
+//  2. Control divergence is handled with an active-mask stack: a
+//     conditional branch that splits the warp runs the fall-through side
+//     first and parks the taken side (or pends it, for If/Else) until
+//     execution reaches the branch's compile-time reconvergence pc (the
+//     immediate post-dominator, inst.rpc). Lockstep scheduling changes
+//     *when* a lane executes an instruction, never *what* it executes.
+//  3. The launch folds per-lane results back in ascending thread order
+//     with the exact accumulator sequence of the serial loop, and hook
+//     callbacks are buffered per lane and replayed in thread order (warp
+//     eligibility requires pure-observer hooks, like the parallel engine).
+//  4. Failure attribution is per lane: the first failing thread in serial
+//     order is reported, with the same CrashError/HangError classification
+//     and the same loop-head region charges.
+//
+// Memory-model note (DESIGN.md §5): lanes of one warp issue their loads and
+// stores in ascending lane order per instruction, not one thread at a time.
+// Same-instruction stores to one address resolve to the highest lane, which
+// matches the serial engine's last-thread-wins order; cross-lane
+// dependencies *between* instructions are undefined behaviour on real GPUs
+// and under every engine here. Launches with a SetMemFault overlay or
+// mutating hooks never reach this engine (launchPlan forces serial), so the
+// dispatch loop carries no fault-overlay or live-hook paths. When a lane
+// crashes or hangs, higher-numbered lanes of its group have already
+// executed the current instruction (and will run to completion) — their
+// arena writes are the one observable difference from a serial run, and
+// only in launches that already failed.
+
+// warpWidth is the lane count of the vectorized engine. It is the hardware
+// warp width of the modelled GT200 and fixed at 32 so the active masks are
+// single uint32 words; Config.WarpSize (the *accounting* warp size) is
+// independent — the result fold groups cycle maxima by cfg.WarpSize
+// boundaries whatever the execution grouping.
+const warpWidth = 32
+
+// laneFull is the active mask of a fully-populated, fully-converged warp —
+// the overwhelmingly common case for the regular kernels in this suite. Hot
+// opcode cases test for it and take a dense 0..31 lane loop over three-index
+// subslices: the constant trip count and capped slices let the compiler
+// eliminate every bounds check, where the sparse bit-scan loop cannot.
+const laneFull = ^uint32(0)
+
+// lanes carves one register slot's 32 lanes out of the SoA register file as
+// a length- and capacity-32 subslice, so dense full-mask loops index it with
+// a provably in-range induction variable. Inlined; no allocation.
+func lanes(regs []uint32, v int) []uint32 {
+	return regs[v : v+warpWidth : v+warpWidth]
+}
+
+// maskEntry is one frame of the divergence stack. Two flavours share the
+// struct:
+//
+//   - wait entries (pend == 0) park lanes that already reached the
+//     reconvergence pc — the taken side of an else-less If, or lanes that
+//     exited a loop while others iterate. They rejoin when the running
+//     mask arrives at rpc.
+//   - pend entries (pend != 0) hold the not-yet-run else side of a
+//     diverged If/Else: when the then side reaches rpc it parks into wait
+//     and the pended lanes start at pendPC; the frame then resolves as a
+//     wait entry.
+type maskEntry struct {
+	rpc    int32  // reconvergence pc (inst.rpc of the diverging branch)
+	pendPC int32  // else-side entry pc (pend entries only)
+	wait   uint32 // lanes parked at rpc
+	pend   uint32 // lanes waiting to start the else side
+}
+
+// warpExec is the reusable execution state of one warp engine instance: a
+// struct-of-arrays register file, the divergence stack, and per-lane
+// accounting cells. One instance serves a whole launch (or a whole shard),
+// group after group; instances recycle through warpPool.
+type warpExec struct {
+	d         *Device
+	k         *kir.Kernel
+	p         *program
+	spec      *LaunchSpec
+	budget    int
+	fastLimit uint32 // addresses below it never fail checkAccess
+	shared    bool   // arena accessed atomically (parallel shards)
+	record    bool   // buffer hook callbacks per lane
+
+	regs    []uint32 // SoA register file, nslots × warpWidth
+	regsRef *[]uint32
+	stack   []maskEntry
+
+	blk  int // current block
+	base int // first thread id of the current group
+
+	cycles     [warpWidth]float64
+	loopCycles [warpWidth]float64
+	steps      [warpWidth]int
+	loads      [warpWidth]int64
+	stores     [warpWidth]int64
+	errs       [warpWidth]error
+	recs       [warpWidth]hookRecorder
+}
+
+// warpPool recycles warp engine state across launches and devices (SWIFI
+// campaigns create a Device per injection); the divergence stack and the
+// per-lane hook buffers keep their capacity across uses.
+var warpPool = sync.Pool{New: func() any { return new(warpExec) }}
+
+// getWarpExec readies a pooled warp engine for a launch. Return it with
+// putWarpExec.
+func (d *Device) getWarpExec(k *kir.Kernel, p *program, spec *LaunchSpec, shared bool) *warpExec {
+	w := warpPool.Get().(*warpExec)
+	w.d = d
+	w.k = k
+	w.p = p
+	w.spec = spec
+	w.budget = d.cfg.StepBudget
+	w.fastLimit = 0
+	if d.cfg.Mode == ModeGPU {
+		w.fastLimit = VirtualWords
+	}
+	w.shared = shared
+	w.record = spec.Hooks != nil
+	w.regsRef = p.getWarpRegs()
+	w.regs = *w.regsRef
+	return w
+}
+
+// putWarpExec returns the register file to its program's pool and drops the
+// engine's references before recycling it.
+func putWarpExec(w *warpExec) {
+	w.p.putWarpRegs(w.regsRef)
+	w.regs = nil
+	w.regsRef = nil
+	w.d = nil
+	w.k = nil
+	w.p = nil
+	w.spec = nil
+	for i := range w.errs {
+		w.errs[i] = nil
+	}
+	warpPool.Put(w)
+}
+
+// runGroup executes threads [base, base+n) of block blk as one lockstep
+// group (n ≤ warpWidth). Results land in the per-lane cells; lane i is
+// thread base+i.
+func (w *warpExec) runGroup(blk, base, n int) {
+	p := w.p
+	regs := w.regs
+	for i := 0; i < n; i++ {
+		w.cycles[i] = 0
+		w.loopCycles[i] = 0
+		w.steps[i] = 0
+		w.loads[i] = 0
+		w.stores[i] = 0
+		w.errs[i] = nil
+		if w.record {
+			w.recs[i].events = w.recs[i].events[:0]
+		}
+	}
+	// Variable slots cleared for every lane; the constant pool was
+	// broadcast at register-file creation and constants are never
+	// overwritten; temporaries are written before read per lane.
+	clear(regs[:p.nv*warpWidth])
+	for i, par := range w.k.Params {
+		val := w.spec.Args[i].Scalar
+		if par.Type == kir.Ptr {
+			val = w.spec.Args[i].Buf.Off
+		}
+		lanes := regs[int(par.ID)*warpWidth:]
+		for l := 0; l < n; l++ {
+			lanes[l] = val
+		}
+	}
+	w.blk = blk
+	w.base = base
+	w.run(uint32((uint64(1) << uint(n)) - 1))
+}
+
+// laneCrash records a CrashError for lane l at pc, applying the loop-head
+// region charge the serial engine adds after its dispatch loop (crashes
+// inside a head-expression region owe its LoopOver before propagating;
+// hangs do not, so hang paths bypass this helper).
+func (w *warpExec) laneCrash(l, pc int, reason string) {
+	for _, r := range w.p.regions {
+		if pc >= r.start && pc < r.end {
+			w.cycles[l] += r.charge
+			w.loopCycles[l] += r.charge
+			break
+		}
+	}
+	w.errs[l] = &CrashError{Reason: reason, Block: w.blk, Thread: w.base + l}
+}
+
+// averagedLane is averagedSlots for one lane of the SoA register file.
+func (w *warpExec) averagedLane(in *inst, l int) float64 {
+	v := avgConvert(in.c, w.regs[int(in.a)*warpWidth+l])
+	if in.b >= 0 {
+		v = avgDivide(v, int32(w.regs[int(in.b)*warpWidth+l]))
+	}
+	return v
+}
+
+// tc builds the hook thread context for lane l.
+func (w *warpExec) tc(l int) ThreadCtx {
+	return ThreadCtx{Block: w.blk, Thread: w.base + l}
+}
+
+// run is the vectorized dispatch loop: one instruction fetch and opcode
+// dispatch per iteration, then a per-lane loop over the active mask (bit
+// iteration visits lanes in ascending order, preserving the serial engine's
+// thread order for same-instruction stores). Per-lane semantics, charge
+// order, and crash points mirror (*bcThread).run case by case.
+func (w *warpExec) run(exec uint32) {
+	p := w.p
+	insts := p.insts
+	regs := w.regs
+	d := w.d
+	arena := d.arena
+	fastLimit := w.fastLimit
+	shared := w.shared
+	record := w.record
+	budget := w.budget
+	stack := w.stack[:0]
+	pc := 0
+
+	for {
+		if exec == 0 {
+			// Every running lane crashed, hung, or branched away; wake the
+			// youngest parked frame (else side first, then waiters).
+			if len(stack) == 0 {
+				break
+			}
+			top := &stack[len(stack)-1]
+			if top.pend != 0 {
+				exec = top.pend
+				pc = int(top.pendPC)
+				top.pend = 0
+			} else {
+				exec = top.wait
+				pc = int(top.rpc)
+				stack = stack[:len(stack)-1]
+			}
+			continue
+		}
+		// Reconvergence: arriving at the top frame's join either starts
+		// the pended else side (parking the arrivals) or merges the
+		// parked lanes back into the running mask.
+		for len(stack) > 0 && pc == int(stack[len(stack)-1].rpc) {
+			top := &stack[len(stack)-1]
+			if top.pend != 0 {
+				top.wait |= exec
+				exec = top.pend
+				pc = int(top.pendPC)
+				top.pend = 0
+			} else {
+				exec |= top.wait
+				stack = stack[:len(stack)-1]
+			}
+		}
+		if pc >= len(insts) {
+			// Program end post-dominates everything; with structured flow
+			// the stack is already empty. Drain defensively regardless.
+			exec = 0
+			continue
+		}
+		in := &insts[pc]
+		if in.flags&fStep != 0 {
+			if exec == laneFull {
+				for l := 0; l < warpWidth; l++ {
+					w.steps[l]++
+					if w.steps[l] > budget {
+						w.errs[l] = &HangError{Block: w.blk, Thread: w.base + l, Steps: w.steps[l]}
+						exec &^= 1 << uint(l)
+					}
+				}
+			} else {
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.steps[l]++
+					if w.steps[l] > budget {
+						w.errs[l] = &HangError{Block: w.blk, Thread: w.base + l, Steps: w.steps[l]}
+						exec &^= 1 << uint(l)
+					}
+				}
+			}
+			if exec == 0 {
+				continue
+			}
+		}
+		switch in.op {
+		case opNop:
+			// step carrier only
+
+		case opCharge:
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+			}
+
+		case opMove:
+			// Hot cases fold the fused-successor charge (cost2) into their
+			// own lane loop instead of taking the shared second pass at the
+			// bottom of the iteration: the per-lane add order is still
+			// cost → compute → cost2 (the serial sequence), crashed lanes
+			// `continue` out before the cost2 adds exactly as their serial
+			// runs break out, and the cost2 != 0 guard is the serial
+			// engine's own bottom-of-loop condition (per-instruction
+			// constant, so the branch predicts perfectly). These cases
+			// then skip the bottom pass via `pc++; continue`, and take a
+			// dense bounds-check-free lane loop when the warp is full and
+			// converged (exec == laneFull).
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			if exec == laneFull {
+				ra, rb := lanes(regs, av), lanes(regs, bv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					ra[l] = rb[l]
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = regs[bv+l]
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+
+		case opJmp:
+			pc = int(in.a)
+			continue
+
+		case opJZ, opForTest, opCmpJZ:
+			// Conditional branches charge every active lane before the
+			// test (the serial order), then split the warp: fall-through
+			// lanes run on, taken lanes jump, park, or pend per the
+			// divergence rules below. The fused-successor charge
+			// (cost2) goes to fall-through lanes only, exactly the lanes
+			// whose serial runs would reach the bottom of the iteration;
+			// it is folded into the evaluation loop (per-lane add order
+			// stays cost -> evaluate -> cost2, the serial sequence) so a
+			// branch costs one mask pass, not two.
+			var taken uint32
+			bv, cv := int(in.b)*warpWidth, int(in.c)*warpWidth
+			switch in.op {
+			case opJZ:
+				if exec == laneFull {
+					rb := lanes(regs, bv)
+					for l := 0; l < warpWidth; l++ {
+						w.cycles[l] += in.cost
+						w.loopCycles[l] += in.costLoop
+						if rb[l] == 0 {
+							taken |= 1 << uint(l)
+						} else if in.cost2 != 0 {
+							w.cycles[l] += in.cost2
+							w.loopCycles[l] += in.costLoop2
+						}
+					}
+					break
+				}
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					if regs[bv+l] == 0 {
+						taken |= 1 << uint(l)
+					} else if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+			case opForTest:
+				if exec == laneFull {
+					rb, rc := lanes(regs, bv), lanes(regs, cv)
+					for l := 0; l < warpWidth; l++ {
+						w.cycles[l] += in.cost
+						w.loopCycles[l] += in.costLoop
+						if int32(rb[l]) >= int32(rc[l]) {
+							taken |= 1 << uint(l)
+						} else if in.cost2 != 0 {
+							w.cycles[l] += in.cost2
+							w.loopCycles[l] += in.costLoop2
+						}
+					}
+					break
+				}
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					if int32(regs[bv+l]) >= int32(regs[cv+l]) {
+						taken |= 1 << uint(l)
+					} else if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+			default: // opCmpJZ
+				cmp := opcode(in.imm)
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					if !cmpTrue(cmp, regs[bv+l], regs[cv+l]) {
+						taken |= 1 << uint(l)
+					} else if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+			}
+			fall := exec &^ taken
+			if taken == 0 {
+				pc++
+				continue
+			}
+			if fall == 0 {
+				pc = int(in.a)
+				continue
+			}
+			if in.a == in.rpc {
+				// Loop exit or else-less If: the taken lanes land directly
+				// on the join. Park them, merging with lanes that exited
+				// on earlier iterations.
+				if n := len(stack); n > 0 && stack[n-1].rpc == in.rpc {
+					stack[n-1].wait |= taken
+				} else {
+					stack = append(stack, maskEntry{rpc: in.rpc, wait: taken})
+				}
+			} else {
+				// If/Else: the fall-through (then) side runs first; the
+				// taken lanes start the else block when it reaches the
+				// join.
+				stack = append(stack, maskEntry{rpc: in.rpc, pendPC: in.a, pend: taken})
+			}
+			exec = fall
+			pc++
+			continue
+
+		case opForInc:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			if exec == laneFull {
+				ra, rb := lanes(regs, av), lanes(regs, bv)
+				for l := 0; l < warpWidth; l++ {
+					ra[l] = uint32(int32(ra[l]) + int32(rb[l]))
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				regs[av+l] = uint32(int32(regs[av+l]) + int32(regs[bv+l]))
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+
+		case opCrash:
+			msg := p.crashMsgs[in.imm]
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				w.laneCrash(l, pc, msg)
+			}
+			exec = 0
+			continue
+
+		case opLoad:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					addr := rb[l] + rc[l]
+					if addr >= fastLimit {
+						if reason := d.checkAccess(addr); reason != "" {
+							w.laneCrash(l, pc, "load: "+reason)
+							exec &^= 1 << uint(l)
+							continue
+						}
+					}
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					w.loads[l]++
+					var val uint32
+					if int(addr) < len(arena) {
+						if shared {
+							val = atomic.LoadUint32(&arena[addr])
+						} else {
+							val = arena[addr]
+						}
+					}
+					ra[l] = val
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				addr := regs[bv+l] + regs[cv+l]
+				if addr >= fastLimit {
+					if reason := d.checkAccess(addr); reason != "" {
+						w.laneCrash(l, pc, "load: "+reason)
+						exec &^= 1 << uint(l)
+						continue
+					}
+				}
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				w.loads[l]++
+				var val uint32
+				if int(addr) < len(arena) {
+					if shared {
+						val = atomic.LoadUint32(&arena[addr])
+					} else {
+						val = arena[addr]
+					}
+				}
+				regs[av+l] = val
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+
+		case opStore:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					addr := ra[l] + rb[l]
+					if addr >= fastLimit {
+						if reason := d.checkAccess(addr); reason != "" {
+							w.laneCrash(l, pc, "store: "+reason)
+							exec &^= 1 << uint(l)
+							continue
+						}
+					}
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					w.stores[l]++
+					if int(addr) < len(arena) {
+						if shared {
+							atomic.StoreUint32(&arena[addr], rc[l])
+						} else {
+							arena[addr] = rc[l]
+						}
+					}
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				addr := regs[av+l] + regs[bv+l]
+				if addr >= fastLimit {
+					if reason := d.checkAccess(addr); reason != "" {
+						w.laneCrash(l, pc, "store: "+reason)
+						exec &^= 1 << uint(l)
+						continue
+					}
+				}
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				w.stores[l]++
+				if int(addr) < len(arena) {
+					if shared {
+						atomic.StoreUint32(&arena[addr], regs[cv+l])
+					} else {
+						arena[addr] = regs[cv+l]
+					}
+				}
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+
+		// Integer ALU: charge-then-compute, as the serial engine.
+		case opAddI:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					ra[l] = rb[l] + rc[l]
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = regs[bv+l] + regs[cv+l]
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opSubI:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					ra[l] = rb[l] - rc[l]
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = regs[bv+l] - regs[cv+l]
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opMulI:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					ra[l] = uint32(int32(rb[l]) * int32(rc[l]))
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = uint32(int32(regs[bv+l]) * int32(regs[cv+l]))
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opDivS:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				if regs[cv+l] == 0 {
+					w.laneCrash(l, pc, "integer divide by zero")
+					exec &^= 1 << uint(l)
+					continue
+				}
+				regs[av+l] = uint32(int32(regs[bv+l]) / int32(regs[cv+l]))
+			}
+		case opDivU:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				if regs[cv+l] == 0 {
+					w.laneCrash(l, pc, "integer divide by zero")
+					exec &^= 1 << uint(l)
+					continue
+				}
+				regs[av+l] = regs[bv+l] / regs[cv+l]
+			}
+		case opRemS:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				if regs[cv+l] == 0 {
+					w.laneCrash(l, pc, "integer remainder by zero")
+					exec &^= 1 << uint(l)
+					continue
+				}
+				regs[av+l] = uint32(int32(regs[bv+l]) % int32(regs[cv+l]))
+			}
+		case opRemU:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				if regs[cv+l] == 0 {
+					w.laneCrash(l, pc, "integer remainder by zero")
+					exec &^= 1 << uint(l)
+					continue
+				}
+				regs[av+l] = regs[bv+l] % regs[cv+l]
+			}
+		case opAnd:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = regs[bv+l] & regs[cv+l]
+			}
+		case opOr:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = regs[bv+l] | regs[cv+l]
+			}
+		case opXor:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = regs[bv+l] ^ regs[cv+l]
+			}
+		case opShl:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = regs[bv+l] << (regs[cv+l] & 31)
+			}
+		case opShrS:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = uint32(int32(regs[bv+l]) >> (regs[cv+l] & 31))
+			}
+		case opShrU:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = regs[bv+l] >> (regs[cv+l] & 31)
+			}
+		case opLAnd:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] != 0 && regs[cv+l] != 0)
+			}
+		case opLOr:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] != 0 || regs[cv+l] != 0)
+			}
+		case opEqI:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] == regs[cv+l])
+			}
+		case opNeI:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] != regs[cv+l])
+			}
+		case opLtS:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(int32(regs[bv+l]) < int32(regs[cv+l]))
+			}
+		case opLeS:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(int32(regs[bv+l]) <= int32(regs[cv+l]))
+			}
+		case opGtS:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(int32(regs[bv+l]) > int32(regs[cv+l]))
+			}
+		case opGeS:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(int32(regs[bv+l]) >= int32(regs[cv+l]))
+			}
+		case opLtU:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] < regs[cv+l])
+			}
+		case opLeU:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] <= regs[cv+l])
+			}
+		case opGtU:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] > regs[cv+l])
+			}
+		case opGeU:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] >= regs[cv+l])
+			}
+
+		// FP ALU.
+		case opAddF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					ra[l] = math.Float32bits(math.Float32frombits(rb[l]) + math.Float32frombits(rc[l]))
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = math.Float32bits(math.Float32frombits(regs[bv+l]) + math.Float32frombits(regs[cv+l]))
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opSubF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					ra[l] = math.Float32bits(math.Float32frombits(rb[l]) - math.Float32frombits(rc[l]))
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = math.Float32bits(math.Float32frombits(regs[bv+l]) - math.Float32frombits(regs[cv+l]))
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opMulF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					ra[l] = math.Float32bits(math.Float32frombits(rb[l]) * math.Float32frombits(rc[l]))
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = math.Float32bits(math.Float32frombits(regs[bv+l]) * math.Float32frombits(regs[cv+l]))
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opDivF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					ra[l] = math.Float32bits(math.Float32frombits(rb[l]) / math.Float32frombits(rc[l]))
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = math.Float32bits(math.Float32frombits(regs[bv+l]) / math.Float32frombits(regs[cv+l]))
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opEqF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(math.Float32frombits(regs[bv+l]) == math.Float32frombits(regs[cv+l]))
+			}
+		case opNeF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(math.Float32frombits(regs[bv+l]) != math.Float32frombits(regs[cv+l]))
+			}
+		case opLtF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(math.Float32frombits(regs[bv+l]) < math.Float32frombits(regs[cv+l]))
+			}
+		case opLeF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(math.Float32frombits(regs[bv+l]) <= math.Float32frombits(regs[cv+l]))
+			}
+		case opGtF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(math.Float32frombits(regs[bv+l]) > math.Float32frombits(regs[cv+l]))
+			}
+		case opGeF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(math.Float32frombits(regs[bv+l]) >= math.Float32frombits(regs[cv+l]))
+			}
+
+		case opNegI:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = uint32(-int32(regs[bv+l]))
+			}
+		case opNegF:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = math.Float32bits(-math.Float32frombits(regs[bv+l]))
+			}
+		case opNotL:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = b2u(regs[bv+l] == 0)
+			}
+		case opBNot:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = ^regs[bv+l]
+			}
+
+		case opF2I:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = convert(kir.F32, kir.I32, regs[bv+l])
+			}
+		case opF2U:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = convert(kir.F32, kir.U32, regs[bv+l])
+			}
+		case opI2F:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = math.Float32bits(float32(int32(regs[bv+l])))
+			}
+		case opU2F:
+			av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				regs[av+l] = math.Float32bits(float32(regs[bv+l]))
+			}
+
+		case opCallI:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			bi := kir.Builtin(in.imm)
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					a := int32(rb[l])
+					switch bi {
+					case kir.Abs:
+						if a < 0 {
+							a = -a
+						}
+					case kir.Min:
+						if b := int32(rc[l]); b < a {
+							a = b
+						}
+					case kir.Max:
+						if b := int32(rc[l]); b > a {
+							a = b
+						}
+					}
+					ra[l] = uint32(a)
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				a := int32(regs[bv+l])
+				switch bi {
+				case kir.Abs:
+					if a < 0 {
+						a = -a
+					}
+				case kir.Min:
+					if b := int32(regs[cv+l]); b < a {
+						a = b
+					}
+				case kir.Max:
+					if b := int32(regs[cv+l]); b > a {
+						a = b
+					}
+				}
+				regs[av+l] = uint32(a)
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+
+		case opCallF:
+			av, bv, cv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth
+			bi := kir.Builtin(in.imm)
+			if exec == laneFull {
+				ra, rb, rc := lanes(regs, av), lanes(regs, bv), lanes(regs, cv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					x := float64(math.Float32frombits(rb[l]))
+					var y float64
+					switch bi {
+					case kir.Sqrt:
+						y = math.Sqrt(x)
+					case kir.RSqrt:
+						y = 1 / math.Sqrt(x)
+					case kir.Exp:
+						y = math.Exp(x)
+					case kir.Log:
+						y = math.Log(x)
+					case kir.Sin:
+						y = math.Sin(x)
+					case kir.Cos:
+						y = math.Cos(x)
+					case kir.Abs:
+						y = math.Abs(x)
+					case kir.Floor:
+						y = math.Floor(x)
+					case kir.Min:
+						y = math.Min(x, float64(math.Float32frombits(rc[l])))
+					case kir.Max:
+						y = math.Max(x, float64(math.Float32frombits(rc[l])))
+					}
+					ra[l] = math.Float32bits(float32(y))
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				x := float64(math.Float32frombits(regs[bv+l]))
+				var y float64
+				switch bi {
+				case kir.Sqrt:
+					y = math.Sqrt(x)
+				case kir.RSqrt:
+					y = 1 / math.Sqrt(x)
+				case kir.Exp:
+					y = math.Exp(x)
+				case kir.Log:
+					y = math.Log(x)
+				case kir.Sin:
+					y = math.Sin(x)
+				case kir.Cos:
+					y = math.Cos(x)
+				case kir.Abs:
+					y = math.Abs(x)
+				case kir.Floor:
+					y = math.Floor(x)
+				case kir.Min:
+					y = math.Min(x, float64(math.Float32frombits(regs[cv+l])))
+				case kir.Max:
+					y = math.Max(x, float64(math.Float32frombits(regs[cv+l])))
+				}
+				regs[av+l] = math.Float32bits(float32(y))
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+
+		case opSpecial:
+			av := int(in.a) * warpWidth
+			if kir.SpecialKind(in.imm) == kir.ThreadIdx {
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					regs[av+l] = uint32(w.base + l)
+				}
+			} else {
+				var v uint32
+				switch kir.SpecialKind(in.imm) {
+				case kir.BlockIdx:
+					v = uint32(w.blk)
+				case kir.BlockDim:
+					v = uint32(w.spec.Block)
+				case kir.GridDim:
+					v = uint32(w.spec.Grid)
+				}
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					regs[av+l] = v
+				}
+			}
+
+		case opProbe:
+			if record {
+				av := int(in.a) * warpWidth
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					// Pure-observer hooks never rewrite the value
+					// (eligibility requirement), so no writeback path.
+					w.recs[l].Probe(w.tc(l), int(in.imm), p.vars[in.a], kir.HW(in.b), regs[av+l])
+				}
+			}
+
+		case opCountExec:
+			if record {
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.recs[l].CountExec(w.tc(l), int(in.imm))
+				}
+			}
+
+		case opRangeCheck:
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				if record {
+					w.recs[l].RangeCheck(w.tc(l), int(in.imm), w.averagedLane(in, l))
+				}
+			}
+
+		case opEqualCheck:
+			if record {
+				av, bv := int(in.a)*warpWidth, int(in.b)*warpWidth
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.recs[l].EqualCheck(w.tc(l), int(in.imm), int32(regs[av+l]), int32(regs[bv+l]))
+				}
+			}
+
+		case opProfileSample:
+			if record {
+				for m := exec; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros32(m)
+					w.recs[l].ProfileSample(w.tc(l), int(in.imm), w.averagedLane(in, l))
+				}
+			}
+
+		case opSetSDC:
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				if record {
+					w.recs[l].SetSDC(w.tc(l), int(in.imm), kir.DetectKind(in.a))
+				}
+			}
+
+		case opSync:
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+			}
+
+		// Superinstructions: same contraction barriers and charge points
+		// as the serial cases; the absorbed charge rides in cost2 at the
+		// bottom of the iteration.
+		case opMulAddF:
+			av, bv, cv, dv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth, int(in.d)*warpWidth
+			if exec == laneFull {
+				ra := regs[av : av+warpWidth : av+warpWidth]
+				rb := regs[bv : bv+warpWidth : bv+warpWidth]
+				rc := regs[cv : cv+warpWidth : cv+warpWidth]
+				rd := regs[dv : dv+warpWidth : dv+warpWidth]
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					q := float32(math.Float32frombits(rc[l]) * math.Float32frombits(rd[l]))
+					ra[l] = math.Float32bits(math.Float32frombits(rb[l]) + q)
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				q := float32(math.Float32frombits(regs[cv+l]) * math.Float32frombits(regs[dv+l]))
+				regs[av+l] = math.Float32bits(math.Float32frombits(regs[bv+l]) + q)
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opMulAddFL:
+			av, bv, cv, dv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth, int(in.d)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc, rd := lanes(regs, av), lanes(regs, bv), lanes(regs, cv), lanes(regs, dv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					q := float32(math.Float32frombits(rc[l]) * math.Float32frombits(rd[l]))
+					ra[l] = math.Float32bits(q + math.Float32frombits(rb[l]))
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				q := float32(math.Float32frombits(regs[cv+l]) * math.Float32frombits(regs[dv+l]))
+				regs[av+l] = math.Float32bits(q + math.Float32frombits(regs[bv+l]))
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opMulSubF:
+			av, bv, cv, dv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth, int(in.d)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc, rd := lanes(regs, av), lanes(regs, bv), lanes(regs, cv), lanes(regs, dv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					q := float32(math.Float32frombits(rc[l]) * math.Float32frombits(rd[l]))
+					ra[l] = math.Float32bits(math.Float32frombits(rb[l]) - q)
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				q := float32(math.Float32frombits(regs[cv+l]) * math.Float32frombits(regs[dv+l]))
+				regs[av+l] = math.Float32bits(math.Float32frombits(regs[bv+l]) - q)
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		case opMulSubFL:
+			av, bv, cv, dv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth, int(in.d)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc, rd := lanes(regs, av), lanes(regs, bv), lanes(regs, cv), lanes(regs, dv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					q := float32(math.Float32frombits(rc[l]) * math.Float32frombits(rd[l]))
+					ra[l] = math.Float32bits(q - math.Float32frombits(rb[l]))
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				q := float32(math.Float32frombits(regs[cv+l]) * math.Float32frombits(regs[dv+l]))
+				regs[av+l] = math.Float32bits(q - math.Float32frombits(regs[bv+l]))
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+
+		case opLoadIdx:
+			av, bv, cv, dv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth, int(in.d)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc, rd := lanes(regs, av), lanes(regs, bv), lanes(regs, cv), lanes(regs, dv)
+				for l := 0; l < warpWidth; l++ {
+					w.cycles[l] += in.cost
+					w.loopCycles[l] += in.costLoop
+					idx := rc[l] + rd[l]
+					if in.imm != 0 {
+						idx = uint32(int32(rc[l]) * int32(rd[l]))
+					}
+					addr := rb[l] + idx
+					if addr >= fastLimit {
+						if reason := d.checkAccess(addr); reason != "" {
+							w.laneCrash(l, pc, "load: "+reason)
+							exec &^= 1 << uint(l)
+							continue
+						}
+					}
+					w.loads[l]++
+					var val uint32
+					if int(addr) < len(arena) {
+						if shared {
+							val = atomic.LoadUint32(&arena[addr])
+						} else {
+							val = arena[addr]
+						}
+					}
+					ra[l] = val
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				// Index-compute charge at entry; a failed access check
+				// crashes before the absorbed Mem charge (in cost2).
+				w.cycles[l] += in.cost
+				w.loopCycles[l] += in.costLoop
+				idx := regs[cv+l] + regs[dv+l]
+				if in.imm != 0 {
+					idx = uint32(int32(regs[cv+l]) * int32(regs[dv+l]))
+				}
+				addr := regs[bv+l] + idx
+				if addr >= fastLimit {
+					if reason := d.checkAccess(addr); reason != "" {
+						w.laneCrash(l, pc, "load: "+reason)
+						exec &^= 1 << uint(l)
+						continue
+					}
+				}
+				w.loads[l]++
+				var val uint32
+				if int(addr) < len(arena) {
+					if shared {
+						val = atomic.LoadUint32(&arena[addr])
+					} else {
+						val = arena[addr]
+					}
+				}
+				regs[av+l] = val
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+
+		case opLoadOpF:
+			av, bv, cv, dv := int(in.a)*warpWidth, int(in.b)*warpWidth, int(in.c)*warpWidth, int(in.d)*warpWidth
+			if exec == laneFull {
+				ra, rb, rc, rd := lanes(regs, av), lanes(regs, bv), lanes(regs, cv), lanes(regs, dv)
+				for l := 0; l < warpWidth; l++ {
+					addr := rb[l] + rc[l]
+					if addr >= fastLimit {
+						if reason := d.checkAccess(addr); reason != "" {
+							w.laneCrash(l, pc, "load: "+reason)
+							exec &^= 1 << uint(l)
+							continue
+						}
+					}
+					w.cycles[l] += in.cost // Mem, after the check, like opLoad
+					w.loopCycles[l] += in.costLoop
+					w.loads[l]++
+					var val uint32
+					if int(addr) < len(arena) {
+						if shared {
+							val = atomic.LoadUint32(&arena[addr])
+						} else {
+							val = arena[addr]
+						}
+					}
+					lv := math.Float32frombits(val)
+					ov := math.Float32frombits(rd[l])
+					var r float32
+					switch in.imm {
+					case loAdd:
+						r = ov + lv
+					case loAdd | loSwap:
+						r = lv + ov
+					case loSub:
+						r = ov - lv
+					case loSub | loSwap:
+						r = lv - ov
+					case loMul:
+						r = ov * lv
+					default: // loMul | loSwap
+						r = lv * ov
+					}
+					ra[l] = math.Float32bits(r)
+					if in.cost2 != 0 {
+						w.cycles[l] += in.cost2
+						w.loopCycles[l] += in.costLoop2
+					}
+				}
+				pc++
+				continue
+			}
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				addr := regs[bv+l] + regs[cv+l]
+				if addr >= fastLimit {
+					if reason := d.checkAccess(addr); reason != "" {
+						w.laneCrash(l, pc, "load: "+reason)
+						exec &^= 1 << uint(l)
+						continue
+					}
+				}
+				w.cycles[l] += in.cost // Mem, after the check, like opLoad
+				w.loopCycles[l] += in.costLoop
+				w.loads[l]++
+				var val uint32
+				if int(addr) < len(arena) {
+					if shared {
+						val = atomic.LoadUint32(&arena[addr])
+					} else {
+						val = arena[addr]
+					}
+				}
+				lv := math.Float32frombits(val)
+				ov := math.Float32frombits(regs[dv+l])
+				var r float32
+				switch in.imm {
+				case loAdd:
+					r = ov + lv
+				case loAdd | loSwap:
+					r = lv + ov
+				case loSub:
+					r = ov - lv
+				case loSub | loSwap:
+					r = lv - ov
+				case loMul:
+					r = ov * lv
+				default: // loMul | loSwap
+					r = lv * ov
+				}
+				regs[av+l] = math.Float32bits(r)
+				if in.cost2 != 0 {
+					w.cycles[l] += in.cost2
+					w.loopCycles[l] += in.costLoop2
+				}
+			}
+			pc++
+			continue
+		}
+		// Fused-away successor charges on fallthrough only, per lane:
+		// crashed and hung lanes were removed from exec above, exactly as
+		// their serial runs would have broken out before this point.
+		if in.cost2 != 0 {
+			for m := exec; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				w.cycles[l] += in.cost2
+				w.loopCycles[l] += in.costLoop2
+			}
+		}
+		pc++
+	}
+	w.stack = stack
+}
+
+// launchWarp executes a validated launch on the warp engine with a single
+// worker, folding each group's per-lane results back in ascending thread
+// order with the exact accumulator sequence of the serial loop in
+// launchBytecode (execution groups are always warpWidth lanes; the cycle
+// maxima still fold at Config.WarpSize boundaries). Buffered hook
+// callbacks replay per thread, in thread order, before that thread's error
+// check — the serial delivery points.
+func (d *Device) launchWarp(k *kir.Kernel, spec LaunchSpec, p *program) (*Result, error) {
+	res := &Result{Threads: spec.Grid * spec.Block, MaxLive: p.maxLive, Spill: p.spillExtra > 0}
+	warp := d.cfg.WarpSize
+	var sumWarpCycles, sumThreadCycles, sumLoopCycles float64
+
+	w := d.getWarpExec(k, p, &spec, false)
+	defer putWarpExec(w)
+
+	start := time.Now()
+	for blk := 0; blk < spec.Grid; blk++ {
+		var warpMax float64
+		for base := 0; base < spec.Block; base += warpWidth {
+			n := spec.Block - base
+			if n > warpWidth {
+				n = warpWidth
+			}
+			w.runGroup(blk, base, n)
+			for i := 0; i < n; i++ {
+				tid := base + i
+				sumThreadCycles += w.cycles[i]
+				sumLoopCycles += w.loopCycles[i]
+				if w.cycles[i] > warpMax {
+					warpMax = w.cycles[i]
+				}
+				if (tid+1)%warp == 0 || tid == spec.Block-1 {
+					sumWarpCycles += warpMax
+					warpMax = 0
+				}
+				res.Loads += w.loads[i]
+				res.Stores += w.stores[i]
+				if w.record {
+					w.recs[i].replay(spec.Hooks)
+				}
+				if err := w.errs[i]; err != nil {
+					finishResult(res, d, sumWarpCycles, sumThreadCycles, sumLoopCycles)
+					return res, err
+				}
+			}
+		}
+	}
+	// Completed warp launches calibrate the warp-engine speed EWMA and the
+	// shared per-program cycle estimate (see sched.go).
+	recordWarpLaunchEstimate(p, sumThreadCycles, res.Threads, time.Since(start))
+	finishResult(res, d, sumWarpCycles, sumThreadCycles, sumLoopCycles)
+	return res, nil
+}
+
+// runBlockShardWarp is runBlockShard for a warp-engine shard: it executes
+// one block group by group, records per-thread samples for the ordered
+// reducer, and buffers each lane's hook callbacks into the block recorder
+// in thread order. Error propagation matches runBlockShard: the block's
+// watermark CAS keeps the first failing block in *serial* order.
+func (d *Device) runBlockShardWarp(w *warpExec, blk int, br *blockRun, failBlk *atomic.Int64) {
+	spec := w.spec
+	for base := 0; base < spec.Block; base += warpWidth {
+		if int64(blk) > failBlk.Load() {
+			// An earlier block already failed; this block's results can
+			// never be reduced. Abandon it mid-flight.
+			br.n = 0
+			br.err = nil
+			return
+		}
+		n := spec.Block - base
+		if n > warpWidth {
+			n = warpWidth
+		}
+		w.runGroup(blk, base, n)
+		for i := 0; i < n; i++ {
+			br.samples[base+i] = threadSample{w.cycles[i], w.loopCycles[i], w.loads[i], w.stores[i]}
+			br.n = base + i + 1
+			if br.rec != nil {
+				w.recs[i].replay(br.rec)
+			}
+			if err := w.errs[i]; err != nil {
+				br.err = err
+				for cur := failBlk.Load(); int64(blk) < cur; cur = failBlk.Load() {
+					if failBlk.CompareAndSwap(cur, int64(blk)) {
+						break
+					}
+				}
+				return
+			}
+		}
+	}
+}

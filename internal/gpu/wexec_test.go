@@ -1,0 +1,545 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hauberk/internal/kir"
+)
+
+// warpVsSerial launches the same kernel through the warp-vectorized engine
+// (WarpOn, single worker) and the scalar serial engine (WarpOff) on
+// identically prepared devices, requires the warp plan to actually engage,
+// and compares every observable bit-for-bit. compareArenas is off for crash
+// cases: warp lanes past the lowest-tid erroring lane legitimately run
+// ahead of where the serial engine stopped.
+func warpVsSerial(t *testing.T, grid, block int, compareArenas bool, build func(b *kir.Builder), tweak func(c *Config)) (*Result, error) {
+	t.Helper()
+	b := kir.NewBuilder("warp-diff")
+	build(b)
+	k := b.Kernel()
+
+	type run struct {
+		res    *Result
+		err    error
+		arenas [][]uint32
+		log    []string
+	}
+	launch := func(warp WarpMode) run {
+		cfg := DefaultConfig()
+		cfg.LaunchWorkers = 1
+		cfg.Warp = warp
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		d := New(cfg)
+		args := make([]Arg, len(k.Params))
+		for i, p := range k.Params {
+			args[i] = BufArg(d.Alloc(p.Name, p.Elem, grid*block+64))
+		}
+		hooks := &pureRecHooks{}
+		spec := LaunchSpec{Grid: grid, Block: block, Args: args, Hooks: hooks}
+		if warp == WarpOn {
+			workers, extra, useWarp, mode := d.launchPlan(nil, &spec)
+			ReleaseLaunchSlots(extra)
+			if workers != 1 || !useWarp || mode != "warp" {
+				t.Fatalf("warp plan = %d workers, useWarp=%v, mode %q; want 1/true/warp", workers, useWarp, mode)
+			}
+		}
+		res, err := d.Launch(k, spec)
+		var arenas [][]uint32
+		for _, buf := range d.Buffers() {
+			arenas = append(arenas, d.ReadWords(buf))
+		}
+		return run{res: res, err: err, arenas: arenas, log: hooks.log}
+	}
+
+	wp, sr := launch(WarpOn), launch(WarpOff)
+	if fmt.Sprint(wp.err) != fmt.Sprint(sr.err) {
+		t.Fatalf("error mismatch:\n  warp:   %v\n  serial: %v", wp.err, sr.err)
+	}
+	if wp.err != nil && reflect.TypeOf(wp.err) != reflect.TypeOf(sr.err) {
+		t.Fatalf("error type mismatch: warp %T, serial %T", wp.err, sr.err)
+	}
+	if math.Float64bits(wp.res.Cycles) != math.Float64bits(sr.res.Cycles) ||
+		math.Float64bits(wp.res.LoopCycles) != math.Float64bits(sr.res.LoopCycles) ||
+		math.Float64bits(wp.res.NonLoopCycles) != math.Float64bits(sr.res.NonLoopCycles) {
+		t.Fatalf("cycles not bit-identical:\n  warp:   %+v\n  serial: %+v", wp.res, sr.res)
+	}
+	if wp.res.Loads != sr.res.Loads || wp.res.Stores != sr.res.Stores ||
+		wp.res.MaxLive != sr.res.MaxLive || wp.res.Spill != sr.res.Spill {
+		t.Fatalf("result metadata mismatch:\n  warp:   %+v\n  serial: %+v", wp.res, sr.res)
+	}
+	if compareArenas && !reflect.DeepEqual(wp.arenas, sr.arenas) {
+		t.Fatalf("buffer contents differ between warp and serial runs")
+	}
+	if !reflect.DeepEqual(wp.log, sr.log) {
+		t.Fatalf("hook sequences differ:\n  warp:   %v\n  serial: %v", wp.log, sr.log)
+	}
+	return wp.res, wp.err
+}
+
+// TestWarpDivergenceShapes drives the active-mask stack through every
+// structured divergence shape the compiler can emit — nested If/Else keyed
+// on the lane id, loops with lane-dependent trip counts, else-less Ifs
+// inside loops, While loops whose lanes exit at different iterations — and
+// requires the warp engine to match the scalar serial engine bit-for-bit.
+func TestWarpDivergenceShapes(t *testing.T) {
+	cases := map[string]func(b *kir.Builder){
+		"if-else-parity": func(b *kir.Builder) {
+			out := b.PtrParam("out", kir.U32)
+			acc := b.Def("acc", kir.U(0))
+			b.If(kir.XEq(kir.XRem(kir.TID(), kir.I(2)), kir.I(0)), func() {
+				b.Set(acc, kir.XAdd(kir.V(acc), kir.U(1)))
+				b.If(kir.XLt(kir.TID(), kir.I(8)), func() {
+					b.Set(acc, kir.XMul(kir.V(acc), kir.U(3)))
+				}, func() {
+					b.Set(acc, kir.XXor(kir.V(acc), kir.U(0xff)))
+				})
+			}, func() {
+				b.Set(acc, kir.XAdd(kir.V(acc), kir.U(2)))
+			})
+			b.Store(out, kir.GlobalID(), kir.V(acc))
+		},
+		"divergent-trip-counts": func(b *kir.Builder) {
+			out := b.PtrParam("out", kir.F32)
+			acc := b.Def("acc", kir.F(0))
+			b.For("i", kir.I(0), kir.TID(), func(i *kir.Var) {
+				b.Accum(acc, kir.XMul(kir.ToF32(kir.V(i)), kir.F(0.25)))
+			})
+			b.Store(out, kir.GlobalID(), kir.V(acc))
+		},
+		"else-less-in-loop": func(b *kir.Builder) {
+			out := b.PtrParam("out", kir.U32)
+			acc := b.Def("acc", kir.U(0))
+			b.For("i", kir.I(0), kir.I(8), func(i *kir.Var) {
+				b.If(kir.XLt(kir.V(i), kir.XRem(kir.TID(), kir.I(4))), func() {
+					b.Set(acc, kir.XXor(kir.V(acc), kir.XShl(kir.U(1), kir.V(i))))
+				}, nil)
+			})
+			b.Store(out, kir.GlobalID(), kir.V(acc))
+		},
+		"while-lane-exit": func(b *kir.Builder) {
+			out := b.PtrParam("out", kir.I32)
+			n := b.Def("n", kir.XRem(kir.TID(), kir.I(5)))
+			s := b.Def("s", kir.I(0))
+			b.While(kir.XGt(kir.V(n), kir.I(0)), func() {
+				b.Set(s, kir.XAdd(kir.V(s), kir.V(n)))
+				b.Set(n, kir.XSub(kir.V(n), kir.I(1)))
+			})
+			b.Store(out, kir.GlobalID(), kir.V(s))
+		},
+		"nested-loop-branch-mix": func(b *kir.Builder) {
+			out := b.PtrParam("out", kir.U32)
+			acc := b.Def("acc", kir.U(0))
+			b.For("i", kir.I(0), kir.I(4), func(i *kir.Var) {
+				b.For("j", kir.I(0), kir.XAdd(kir.XRem(kir.TID(), kir.I(3)), kir.I(1)), func(j *kir.Var) {
+					b.If(kir.XGt(kir.V(j), kir.V(i)), func() {
+						b.Set(acc, kir.XAdd(kir.V(acc), kir.U(5)))
+					}, func() {
+						b.Set(acc, kir.XOr(kir.XShl(kir.V(acc), kir.I(1)), kir.U(1)))
+					})
+				})
+			})
+			b.Store(out, kir.GlobalID(), kir.V(acc))
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			// 33 threads straddle a warp boundary: a full warp plus a
+			// single-lane tail group.
+			if _, err := warpVsSerial(t, 2, 33, true, build, nil); err != nil {
+				t.Fatalf("launch failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestWarpCrashLowestTidWins crashes two lanes of the same warp at the same
+// instruction (tid 5 and tid 9 both divide by zero). The attributed thread
+// must be the lowest tid, and the cycle fold up to that thread must be
+// bit-identical to the serial engine, which never even reaches tid 9.
+func TestWarpCrashLowestTidWins(t *testing.T) {
+	_, err := warpVsSerial(t, 2, 16, false, func(b *kir.Builder) {
+		out := b.PtrParam("out", kir.I32)
+		den := b.Def("den", kir.XMul(kir.XSub(kir.TID(), kir.I(5)), kir.XSub(kir.TID(), kir.I(9))))
+		v := b.Def("v", kir.XDiv(kir.I(100), kir.V(den)))
+		b.Store(out, kir.GlobalID(), kir.V(v))
+	}, nil)
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CrashError, got %v", err)
+	}
+	if ce.Block != 0 || ce.Thread != 5 {
+		t.Fatalf("crash attributed to block %d thread %d, want block 0 thread 5 (lowest tid)", ce.Block, ce.Thread)
+	}
+}
+
+// TestWarpHangAttribution hangs exactly one lane (tid 3 loops forever) while
+// its warp siblings exit the While immediately. The warp engine must report
+// the same HangError — thread, block, and step count — as the serial engine.
+func TestWarpHangAttribution(t *testing.T) {
+	_, err := warpVsSerial(t, 1, 16, false, func(b *kir.Builder) {
+		out := b.PtrParam("out", kir.I32)
+		n := b.Def("n", kir.I(1))
+		b.While(kir.XLAnd(kir.XEq(kir.TID(), kir.I(3)), kir.XGt(kir.V(n), kir.I(0))), func() {
+			b.Set(n, kir.XAdd(kir.V(n), kir.I(1)))
+		})
+		b.Store(out, kir.GlobalID(), kir.V(n))
+	}, func(c *Config) { c.StepBudget = 256 })
+	var he *HangError
+	if !errors.As(err, &he) {
+		t.Fatalf("want *HangError, got %v", err)
+	}
+	if he.Block != 0 || he.Thread != 3 {
+		t.Fatalf("hang attributed to block %d thread %d, want block 0 thread 3", he.Block, he.Thread)
+	}
+}
+
+// TestWarpPickRules pins every branch of the warp-eligibility decision.
+func TestWarpPickRules(t *testing.T) {
+	pinCalibration(t)
+	pure := &pureRecHooks{}
+
+	plan := func(cfg Config, spec LaunchSpec, mutate func(d *Device)) (bool, string) {
+		d := New(cfg)
+		if mutate != nil {
+			mutate(d)
+		}
+		_, extra, useWarp, mode := d.launchPlan(nil, &spec)
+		ReleaseLaunchSlots(extra)
+		return useWarp, mode
+	}
+	base := func() Config { c := DefaultConfig(); return c }
+	spec := LaunchSpec{Grid: 1, Block: 32, Hooks: pure}
+
+	// WarpOn forces the warp engine for pure-observer launches.
+	on := base()
+	on.Warp = WarpOn
+	if w, mode := plan(on, spec, nil); !w || mode != "warp" {
+		t.Fatalf("WarpOn: useWarp=%v mode=%q, want true/warp", w, mode)
+	}
+	// ...even when an explicit serial config would pin the scalar engine.
+	onSerial := on
+	onSerial.LaunchWorkers = 1
+	if w, mode := plan(onSerial, spec, nil); !w || mode != "warp" {
+		t.Fatalf("WarpOn+serial config: useWarp=%v mode=%q, want true/warp", w, mode)
+	}
+	// WarpOff always pins scalar.
+	off := base()
+	off.Warp = WarpOff
+	if w, _ := plan(off, spec, nil); w {
+		t.Fatalf("WarpOff still picked the warp engine")
+	}
+	// A fault overlay needs live serial-order value delivery: scalar even
+	// under WarpOn.
+	if w, mode := plan(on, spec, func(d *Device) {
+		d.SetMemFault(func(addr, val uint32) uint32 { return val })
+	}); w || mode != "serial-fault" {
+		t.Fatalf("fault overlay: useWarp=%v mode=%q, want false/serial-fault", w, mode)
+	}
+	// Impure hooks likewise.
+	impure := spec
+	impure.Hooks = &bcRecHooks{}
+	if w, mode := plan(on, impure, nil); w || mode != "serial-hooks" {
+		t.Fatalf("impure hooks: useWarp=%v mode=%q, want false/serial-hooks", w, mode)
+	}
+
+	// Auto mode: an explicit 1-worker config pins scalar.
+	auto := base()
+	auto.LaunchWorkers = 1
+	if w, mode := plan(auto, spec, nil); w || mode != "serial-config" {
+		t.Fatalf("auto+serial config: useWarp=%v mode=%q, want false/serial-config", w, mode)
+	}
+	// Auto mode: narrow blocks stay scalar.
+	narrow := spec
+	narrow.Block = warpMinLanes - 1
+	if w, _ := plan(base(), narrow, nil); w {
+		t.Fatalf("auto picked warp for a %d-lane block (min %d)", narrow.Block, warpMinLanes)
+	}
+	// Auto mode: uncalibrated pairs bootstrap onto the warp engine so the
+	// completed launch measures it.
+	nsPerCycleBits.Store(0)
+	warpNsPerCycleBits.Store(0)
+	if w, mode := plan(base(), spec, nil); !w || mode != "warp" {
+		t.Fatalf("uncalibrated auto: useWarp=%v mode=%q, want true/warp", w, mode)
+	}
+	// Auto mode, both calibrated: the faster engine wins.
+	nsPerCycleBits.Store(math.Float64bits(10))
+	warpNsPerCycleBits.Store(math.Float64bits(20))
+	if w, _ := plan(base(), spec, nil); w {
+		t.Fatalf("auto picked warp with warp slower (20 vs 10 ns/cycle)")
+	}
+	warpNsPerCycleBits.Store(math.Float64bits(5))
+	if w, mode := plan(base(), spec, nil); !w || mode != "warp" {
+		t.Fatalf("auto kept scalar with warp faster (5 vs 10 ns/cycle): useWarp=%v mode=%q", w, mode)
+	}
+}
+
+// TestLaunchPlanWarpAmortization is the warp flavour of the amortization
+// boundary: with the warp engine selected, shard sizing must be priced at
+// the warp engine's calibrated speed, a sub-threshold launch collapses to
+// single-worker "warp" mode, and an amortizable one fans out as
+// "warp-parallel".
+func TestLaunchPlanWarpAmortization(t *testing.T) {
+	forceBudget(t, 8)
+	pinCalibration(t)
+	nsPerCycleBits.Store(math.Float64bits(1000)) // scalar: badly slow
+	warpNsPerCycleBits.Store(math.Float64bits(10))
+	shardAmortNs.Store(100_000)
+
+	d := New(DefaultConfig())
+	spec := LaunchSpec{Grid: 8, Block: 64, Hooks: &pureRecHooks{}} // 512 threads
+	plan := func(est float64) (int, bool, string) {
+		p := &program{}
+		p.estCycleBits.Store(math.Float64bits(est))
+		workers, extra, useWarp, mode := d.launchPlan(p, &spec)
+		ReleaseLaunchSlots(extra)
+		return workers, useWarp, mode
+	}
+
+	// 10 cycles/thread × 512 threads × 10 ns (warp speed) = 51.2 µs: under
+	// two 100 µs shards. Priced at the scalar 1000 ns/cycle this would have
+	// fanned out to the grid cap — the plan must use the warp speed.
+	if w, uw, mode := plan(10); !uw || mode != "warp" || w != 1 {
+		t.Fatalf("cheap warp launch: workers=%d useWarp=%v mode=%q, want 1/true/warp", w, uw, mode)
+	}
+	// 100 cycles/thread × 512 × 10 ns = 512 µs: five 100 µs shards.
+	if w, uw, mode := plan(100); !uw || mode != "warp-parallel" || w != 5 {
+		t.Fatalf("expensive warp launch: workers=%d useWarp=%v mode=%q, want 5/true/warp-parallel", w, uw, mode)
+	}
+}
+
+// TestWarpLaunchCalibrates pins that a completed single-worker warp launch
+// feeds the warp-speed EWMA (and the shared per-program cycle estimate),
+// exactly as serial launches feed the scalar cell.
+func TestWarpLaunchCalibrates(t *testing.T) {
+	pinCalibration(t)
+	warpNsPerCycleBits.Store(0)
+	resetProgramCache()
+	t.Cleanup(resetProgramCache)
+
+	b := kir.NewBuilder("warp-calib")
+	out := b.PtrParam("out", kir.F32)
+	acc := b.Def("acc", kir.F(0))
+	b.For("i", kir.I(0), kir.I(32), func(i *kir.Var) {
+		b.Accum(acc, kir.XMul(kir.ToF32(kir.V(i)), kir.F(0.5)))
+	})
+	b.Store(out, kir.GlobalID(), kir.V(acc))
+	k := b.Kernel()
+
+	cfg := DefaultConfig()
+	cfg.Warp = WarpOn
+	cfg.LaunchWorkers = 1
+	d := New(cfg)
+	buf := d.Alloc("out", kir.F32, 64)
+	if _, err := d.Launch(k, LaunchSpec{Grid: 1, Block: 32, Args: []Arg{BufArg(buf)}}); err != nil {
+		t.Fatal(err)
+	}
+	if WarpNsPerCycle() == 0 {
+		t.Fatalf("completed warp launch did not calibrate WarpNsPerCycle")
+	}
+	p, hit := programFor(k, d.cfg)
+	if !hit {
+		t.Fatal("program not cached after warp launch")
+	}
+	if p.estCycleBits.Load() == 0 {
+		t.Fatalf("warp launch did not feed the shared per-program cycle estimate")
+	}
+}
+
+// TestWarpLaunchAllocs pins the warp engine's steady-state allocation
+// budget: the exec state and the SoA register file are pooled, so a warm
+// single-worker warp launch stays within the serial engine's budget.
+func TestWarpLaunchAllocs(t *testing.T) {
+	b := kir.NewBuilder("warp-alloc")
+	out := b.PtrParam("out", kir.F32)
+	acc := b.Def("acc", kir.F(0))
+	b.For("i", kir.I(0), kir.I(16), func(i *kir.Var) {
+		b.Accum(acc, kir.XMul(kir.ToF32(kir.V(i)), kir.F(0.5)))
+	})
+	b.Store(out, kir.GlobalID(), kir.V(acc))
+	k := b.Kernel()
+
+	cfg := DefaultConfig()
+	cfg.Warp = WarpOn
+	cfg.LaunchWorkers = 1
+	d := New(cfg)
+	buf := d.Alloc("out", kir.F32, 8*64)
+	spec := LaunchSpec{Grid: 8, Block: 64, Args: []Arg{BufArg(buf)}}
+	for i := 0; i < 3; i++ { // warm the program cache and the warp pools
+		if _, err := d.Launch(k, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := d.Launch(k, spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("warm warp launch allocates %.1f objects/launch, want <= 4", allocs)
+	}
+}
+
+// BenchmarkLaunchWarp is the warp sibling of BenchmarkLaunchSerial: the
+// same 64x64 loop kernel through the single-worker warp engine.
+func BenchmarkLaunchWarp(b *testing.B) {
+	old := LaunchBudget()
+	SetLaunchBudget(8)
+	defer SetLaunchBudget(old)
+	kb := kir.NewBuilder("warp-bench")
+	out := kb.PtrParam("out", kir.F32)
+	acc := kb.Def("acc", kir.F(0))
+	kb.For("i", kir.I(0), kir.I(16), func(i *kir.Var) {
+		kb.Accum(acc, kir.XMul(kir.ToF32(kir.V(i)), kir.F(0.5)))
+	})
+	kb.Store(out, kir.GlobalID(), kir.V(acc))
+	k := kb.Kernel()
+	cfg := DefaultConfig()
+	cfg.Warp = WarpOn
+	cfg.LaunchWorkers = 1
+	d := New(cfg)
+	buf := d.Alloc("out", kir.F32, 64*64)
+	spec := LaunchSpec{Grid: 64, Block: 64, Args: []Arg{BufArg(buf)}}
+	if _, err := d.Launch(k, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(k, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWarpPanickingHookReplay is the warp sibling of the parallel replay
+// containment test: a pure-observer hook that panics during the warp
+// engine's buffered replay must surface as a contained *PanicError, and the
+// device must stay usable.
+func TestWarpPanickingHookReplay(t *testing.T) {
+	k := rangeCheckKernel()
+	cfg := DefaultConfig()
+	cfg.Interpreter = InterpreterBytecode
+	cfg.Warp = WarpOn
+	cfg.LaunchWorkers = 1
+	d := New(cfg)
+	buf := d.Alloc("out", kir.F32, 64)
+	spec := LaunchSpec{Grid: 2, Block: 16, Args: []Arg{BufArg(buf)}, Hooks: &purePanicHooks{}}
+
+	// The panic must cross the warp path, not a serial fallback.
+	workers, extra, useWarp, mode := d.launchPlan(nil, &spec)
+	ReleaseLaunchSlots(extra)
+	if workers != 1 || !useWarp || mode != "warp" {
+		t.Fatalf("launch plan = %d workers, useWarp=%v, mode %q; want the warp path", workers, useWarp, mode)
+	}
+
+	_, err := d.Launch(k, spec)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicking pure-observer hook: got %v, want *PanicError", err)
+	}
+	if !strings.Contains(pe.Error(), "deliberate hook panic") {
+		t.Errorf("PanicError %q does not carry the panic value", pe.Error())
+	}
+
+	if _, err := d.Launch(k, LaunchSpec{Grid: 2, Block: 16, Args: []Arg{BufArg(buf)}, Hooks: &NopHooks{}}); err != nil {
+		t.Fatalf("device unusable after contained warp replay panic: %v", err)
+	}
+}
+
+// TestEwmaStoreConcurrent hammers one EWMA cell from racing goroutines —
+// the CAS loop must converge with no torn reads: every intermediate value a
+// reader observes is a valid float inside the observation envelope.
+func TestEwmaStoreConcurrent(t *testing.T) {
+	var cell atomic.Uint64
+	const lo, hi = 1.0, 2.0
+
+	done := make(chan struct{})
+	var readerErr error
+	go func() {
+		defer close(done)
+		for i := 0; i < 200_000; i++ {
+			b := cell.Load()
+			if b == 0 {
+				continue // not seeded yet
+			}
+			v := math.Float64frombits(b)
+			if v < lo || v > hi || math.IsNaN(v) {
+				readerErr = fmt.Errorf("torn or out-of-envelope read: %v (%#x)", v, b)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				// Deterministic observations spread across [lo, hi].
+				obs := lo + (hi-lo)*float64((g*5000+i)%1000)/999
+				ewmaStore(&cell, obs)
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-done
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	final := math.Float64frombits(cell.Load())
+	if final < lo || final > hi {
+		t.Fatalf("converged EWMA %v outside observation envelope [%v, %v]", final, lo, hi)
+	}
+}
+
+// TestRecordLaunchEstimateConcurrent races full launch-estimate recordings
+// (the path concurrent shard-free launches take on different devices
+// sharing one cached program): the per-program estimate and both engine
+// EWMAs must converge inside the envelope of what was observed.
+func TestRecordLaunchEstimateConcurrent(t *testing.T) {
+	pinCalibration(t)
+	nsPerCycleBits.Store(0)
+	warpNsPerCycleBits.Store(0)
+	p := &program{}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				// Per-thread cycles in [50, 150], wall speed in [2, 6] ns/cycle.
+				perThread := 50 + float64((g*2000+i)%101)
+				cycles := perThread * 64
+				elapsed := time.Duration(cycles * (2 + 4*float64(i%2)))
+				if g%2 == 0 {
+					recordLaunchEstimate(p, cycles, 64, elapsed)
+				} else {
+					recordWarpLaunchEstimate(p, cycles, 64, elapsed)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if est := math.Float64frombits(p.estCycleBits.Load()); est < 50 || est > 150 {
+		t.Fatalf("per-program estimate %v outside observation envelope [50, 150]", est)
+	}
+	if s := EngineNsPerCycle(); s < 2 || s > 6 {
+		t.Fatalf("serial ns/cycle %v outside observation envelope [2, 6]", s)
+	}
+	if w := WarpNsPerCycle(); w < 2 || w > 6 {
+		t.Fatalf("warp ns/cycle %v outside observation envelope [2, 6]", w)
+	}
+}

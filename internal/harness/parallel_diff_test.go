@@ -16,12 +16,13 @@ type pureDiffHooks struct{ diffHooks }
 
 func (h *pureDiffHooks) PureObserverHooks() bool { return true }
 
-func runParallelEngine(t *testing.T, launchWorkers int, nofuse bool, k *kir.Kernel, spec *workloads.Spec) engineRun {
+func runParallelEngine(t *testing.T, launchWorkers int, nofuse bool, warp gpu.WarpMode, k *kir.Kernel, spec *workloads.Spec) engineRun {
 	t.Helper()
 	cfg := gpu.DefaultConfig()
 	cfg.Interpreter = gpu.InterpreterBytecode
 	cfg.LaunchWorkers = launchWorkers
 	cfg.DisableFusion = nofuse
+	cfg.Warp = warp
 	d := gpu.New(cfg)
 	inst := spec.Setup(d, workloads.Dataset{Index: 0})
 	hooks := &pureDiffHooks{}
@@ -68,13 +69,20 @@ func TestParallelLaunchBitIdentical(t *testing.T) {
 				// LaunchWorkers=4 requests parallel execution explicitly
 				// (bypassing the small-launch cutoff: RPES runs 3 blocks of
 				// 64, TPACF 2 of 32), so every workload exercises the
-				// sharded path regardless of size.
-				par := runParallelEngine(t, 4, false, k, spec)
-				ser := runParallelEngine(t, 1, false, k, spec)
-				parUnfused := runParallelEngine(t, 4, true, k, spec)
+				// sharded path regardless of size. The WarpOn rows route the
+				// same shards through the warp-vectorized dispatcher
+				// (shards iterate warps instead of threads) and must stay
+				// bit-identical to the scalar-sharded and serial runs.
+				par := runParallelEngine(t, 4, false, gpu.WarpOff, k, spec)
+				ser := runParallelEngine(t, 1, false, gpu.WarpOff, k, spec)
+				parUnfused := runParallelEngine(t, 4, true, gpu.WarpOff, k, spec)
+				warpPar := runParallelEngine(t, 4, false, gpu.WarpOn, k, spec)
+				warpParUnfused := runParallelEngine(t, 4, true, gpu.WarpOn, k, spec)
 
 				compareRuns(t, par, ser)
 				compareRuns(t, par, parUnfused)
+				compareRuns(t, par, warpPar)
+				compareRuns(t, par, warpParUnfused)
 			})
 		}
 	}
