@@ -10,7 +10,19 @@ COVER_FLOOR ?= 70.0
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X hauberk/internal/version.Version=$(VERSION)"
 
-.PHONY: all build test check fmt vet lint race cover bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke bench bench-obs bench-perf
+# STATICCHECK_VERSION pins the linter for `make tools` and CI so a new
+# upstream release can't break the pipeline unreviewed; bump it
+# deliberately, together with any new findings it reports.
+STATICCHECK_VERSION ?= 2025.1.1
+
+# SMOKE_TIMEOUT bounds each end-to-end smoke script. The smokes drive
+# real campaigns through real binaries, so a deadlock anywhere (daemon
+# drain, worker supervision, event streaming) would otherwise hang the
+# whole pipeline until the CI job limit; this converts a hang into a
+# fast, attributable failure.
+SMOKE_TIMEOUT ?= 600s
+
+.PHONY: all build test check fmt vet lint tools race cover bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke service-smoke bench bench-obs bench-perf bench-service
 
 all: build
 
@@ -23,7 +35,7 @@ test:
 # check is the pre-commit gate and the single source of truth for CI:
 # every job in .github/workflows/ci.yml runs one of the targets below, so
 # a green `make check` locally means a green pipeline.
-check: fmt vet lint build cover race bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke
+check: fmt vet lint build cover race bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke service-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -34,15 +46,19 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint is go vet plus staticcheck. CI installs staticcheck; environments
-# without it (and without network to fetch it) skip that half with a note
-# rather than failing.
+# lint is go vet plus staticcheck. CI installs the pinned version via
+# `make tools`; environments without it (and without network to fetch it)
+# skip that half with a note rather than failing.
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (make tools)"; \
 	fi
+
+# tools installs the pinned lint toolchain (needs network).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 # The harness suite runs full injection campaigns; under the race
 # detector it needs well past the default 10-minute package timeout.
@@ -67,21 +83,28 @@ bench-smoke:
 # campaign-smoke drives the durable campaign engine through the real
 # binaries: plan, kill mid-run, resume, shard, and verify merged figures.
 campaign-smoke:
-	./scripts/campaign_smoke.sh
+	timeout $(SMOKE_TIMEOUT) ./scripts/campaign_smoke.sh
 
 # chaos-smoke proves crash containment through the real binaries: worker
 # SIGKILLs, corrupt frames, stalled heartbeats, failed spawns, and a
 # mid-campaign SIGTERM must leave figure digests byte-identical and no
 # orphaned worker processes.
 chaos-smoke:
-	./scripts/chaos_smoke.sh
+	timeout $(SMOKE_TIMEOUT) ./scripts/chaos_smoke.sh
 
 # monitor-smoke exercises the embedded HTTP monitor through the real
 # binaries: run a campaign with -http, scrape /metrics through the strict
 # exposition parser, stream /events, poll /campaign to completion, and
 # verify figure digests are byte-identical with the monitor on or off.
 monitor-smoke:
-	VERSION=$(VERSION) ./scripts/monitor_smoke.sh
+	VERSION=$(VERSION) timeout $(SMOKE_TIMEOUT) ./scripts/monitor_smoke.sh
+
+# service-smoke drives hauberkd through the real binaries: submit over
+# the HTTP API, cancel a queued campaign, SIGTERM the daemon mid-campaign,
+# restart, and verify the resumed campaign's figure digest is
+# byte-identical to an uninterrupted `hauberk-run` of the same plan.
+service-smoke:
+	VERSION=$(VERSION) timeout $(SMOKE_TIMEOUT) ./scripts/service_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -96,6 +119,17 @@ bench-obs:
 # single-core host the parallel and warp rows are stamped degraded_host.
 bench-perf:
 	BENCH_PERF_JSON=BENCH_perf.json $(GO) test -run TestWritePerfBenchJSON -v .
+
+# bench-service records the campaign-service load profile to
+# BENCH_service.json: hauberk-load self-hosts a daemon and pushes
+# BENCH_SERVICE_N submissions through concurrent clients across tenants,
+# verifying zero lost or duplicated results and byte-identical digests
+# while measuring submit and end-to-end latency percentiles. The small
+# queue bound makes admission control (429 + Retry-After) engage under
+# the burst. Nightly CI runs the same harness at n=5000.
+BENCH_SERVICE_N ?= 1000
+bench-service:
+	$(GO) run $(LDFLAGS) ./cmd/hauberk-load -n $(BENCH_SERVICE_N) -queue-depth 8 -out BENCH_service.json
 
 # bench-diff is the perf regression gate: re-measure the engine comparison
 # into a scratch report and diff it against the committed BENCH_perf.json

@@ -496,7 +496,15 @@ func obsHookLaunch(tb testing.TB, tel *obs.Telemetry) func() {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	d := gpu.New(gpu.DefaultConfig())
+	// Pin the launch plan (serial, scalar): the adaptive planner's
+	// calibration EWMAs drift with wall-clock speed, and a plan change
+	// between the two AllocsPerRun batches would show up as a telemetry
+	// allocation diff. The comparison under test is telemetry-off vs
+	// telemetry-nop, not planner stability.
+	cfg := gpu.DefaultConfig()
+	cfg.LaunchWorkers = 1
+	cfg.Warp = gpu.WarpOff
+	d := gpu.New(cfg)
 	inst := spec.Setup(d, workloads.Dataset{Index: 0})
 	return func() {
 		cb := hrt.NewControlBlock(tr.Detectors, prof.Store)

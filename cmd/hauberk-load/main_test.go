@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hauberk/internal/service"
+)
+
+func TestPctMS(t *testing.T) {
+	if got := pctMS(nil, 50); got != 0 {
+		t.Errorf("pctMS(nil) = %v, want 0", got)
+	}
+	durs := []time.Duration{
+		40 * time.Millisecond, 10 * time.Millisecond,
+		30 * time.Millisecond, 20 * time.Millisecond,
+	}
+	if got := pctMS(durs, 0); got != 10 {
+		t.Errorf("p0 = %v, want 10", got)
+	}
+	if got := pctMS(durs, 50); got != 20 {
+		t.Errorf("p50 = %v, want 20 (lower-rank percentile)", got)
+	}
+	if got := pctMS(durs, 100); got != 40 {
+		t.Errorf("p100 = %v, want 40", got)
+	}
+}
+
+// TestDriveContract runs the load harness against a real in-process
+// daemon and checks the verdict it enforces: every campaign done exactly
+// once, one shared digest, percentiles recorded.
+func TestDriveContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real campaigns")
+	}
+	d, err := service.NewDaemon(service.Config{
+		Addr:       "127.0.0.1:0",
+		StoreRoot:  t.TempDir(),
+		Slots:      2,
+		QueueDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		d.Shutdown(ctx) //nolint:errcheck
+	})
+
+	o := opts{
+		n: 8, clients: 4, tenants: 2, slots: 2, queueDepth: 4,
+		program: "CP", scale: "tiny", timeout: 2 * time.Minute,
+	}
+	doc, err := drive("http://"+d.Addr(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.N != o.n || doc.Clients != o.clients || doc.Tenants != o.tenants {
+		t.Errorf("doc echoes wrong shape: %+v", doc)
+	}
+	if doc.Digest == "" {
+		t.Error("no shared digest recorded")
+	}
+	if doc.Throughput <= 0 || doc.DurationS <= 0 {
+		t.Errorf("throughput %v over %vs not positive", doc.Throughput, doc.DurationS)
+	}
+	if doc.E2EP50ms <= 0 || doc.E2EP99ms < doc.E2EP50ms {
+		t.Errorf("e2e percentiles inconsistent: p50=%v p99=%v", doc.E2EP50ms, doc.E2EP99ms)
+	}
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"hauberk/internal/service"
+)
+
+// campaignsOpts drives the hauberkd client mode (-campaigns): the smoke
+// scripts and operators use it to submit, watch, cancel, and verify
+// campaigns without curl.
+type campaignsOpts struct {
+	base    string // daemon base URL
+	submit  string // program to submit; empty = no submission
+	scale   string
+	dataset int
+	tenant  string
+	id      string // target campaign for status/cancel/events/digest
+	cancel  bool
+	wait    bool // poll the target to a terminal state
+	events  int  // stream this many events from the target (0 = off)
+	digest  bool // print only the digest (exact bytes, for diffing)
+	poll    time.Duration
+	timeout time.Duration
+}
+
+// campaignsCmd is the hauberkd client: with -submit it POSTs a
+// campaign (printing the new id), with -id it targets an existing one;
+// -wait polls to a terminal state, -cancel DELETEs, -events tails the
+// campaign's live feed, -digest prints the digest bytes alone. With no
+// action flags it lists every campaign the daemon knows.
+func campaignsCmd(o campaignsOpts) int {
+	o.base = normalizeBase(o.base)
+	if o.digest {
+		o.wait = true // a digest only exists at the terminal state
+	}
+	if o.submit != "" {
+		st, err := submitCampaign(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaigns: %v\n", err)
+			return 1
+		}
+		fmt.Printf("submitted %s (%s %s/%d tenant=%s)\n",
+			st.ID, st.Program, st.Scale, st.Dataset, st.Tenant)
+		o.id = st.ID
+	}
+
+	switch {
+	case o.cancel:
+		if o.id == "" {
+			fmt.Fprintln(os.Stderr, "campaigns: -cancel needs -id")
+			return 2
+		}
+		st, err := cancelCampaign(o.base, o.id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaigns: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s: %s\n", st.ID, st.State)
+		return 0
+	case o.events > 0:
+		if o.id == "" {
+			fmt.Fprintln(os.Stderr, "campaigns: -events needs -id (or -submit)")
+			return 2
+		}
+		return tailEvents(o.base+"/v1/campaigns/"+o.id, o.events, o.timeout)
+	case o.id != "":
+		st, err := waitCampaign(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaigns: %v\n", err)
+			return 1
+		}
+		if o.digest {
+			// Exact digest bytes, nothing else: `diff` against the
+			// trailing lines of a `hauberk-run -campaign-dir` run is the
+			// service's correctness check.
+			fmt.Print(st.Digest)
+			if st.State != service.StateDone {
+				fmt.Fprintf(os.Stderr, "campaigns: %s is %s, digest may be absent\n", st.ID, st.State)
+				return 1
+			}
+			return 0
+		}
+		printStatus(st)
+		if o.wait && st.State != service.StateDone {
+			return 1
+		}
+		return 0
+	default:
+		return listCampaigns(o.base)
+	}
+}
+
+func submitCampaign(o campaignsOpts) (service.Status, error) {
+	body, err := json.Marshal(service.Submission{
+		Tenant:  o.tenant,
+		Program: o.submit,
+		Scale:   o.scale,
+		Dataset: o.dataset,
+	})
+	if err != nil {
+		return service.Status{}, err
+	}
+	deadline := time.Now().Add(o.timeout)
+	for {
+		resp, err := httpClient.Post(o.base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return service.Status{}, err
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close() //nolint:errcheck
+		if rerr != nil {
+			return service.Status{}, rerr
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && time.Now().Before(deadline) {
+			// Admission control pushed back; honor the hint and retry.
+			wait := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if n, perr := time.ParseDuration(s + "s"); perr == nil && n > 0 {
+					wait = n
+				}
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusCreated {
+			return service.Status{}, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(raw))
+		}
+		var st service.Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return service.Status{}, fmt.Errorf("submit response: %w", err)
+		}
+		return st, nil
+	}
+}
+
+func getCampaign(base, id string) (service.Status, error) {
+	var st service.Status
+	resp, err := httpClient.Get(base + "/v1/campaigns/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET %s: %s", id, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decode status: %w", err)
+	}
+	return st, nil
+}
+
+func cancelCampaign(base, id string) (service.Status, error) {
+	var st service.Status
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("DELETE %s: %s", id, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decode status: %w", err)
+	}
+	return st, nil
+}
+
+// waitCampaign fetches the target's status, polling to a terminal state
+// when o.wait is set (rendering a progress line per state change).
+func waitCampaign(o campaignsOpts) (service.Status, error) {
+	deadline := time.Now().Add(o.timeout)
+	var lastLine string
+	for {
+		st, err := getCampaign(o.base, o.id)
+		if err != nil {
+			return st, err
+		}
+		if !o.wait || st.State.Terminal() {
+			return st, nil
+		}
+		if line := fmt.Sprintf("%s %s %d/%d", st.State, st.Program,
+			st.Progress.Completed, st.Progress.Total); line != lastLine && !o.digest {
+			fmt.Println(line)
+			lastLine = line
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("%s still %s after %s", st.ID, st.State, o.timeout)
+		}
+		time.Sleep(o.poll)
+	}
+}
+
+func printStatus(st service.Status) {
+	fmt.Printf("%s  tenant=%s  %s %s/%d  %s", st.ID, st.Tenant, st.Program, st.Scale, st.Dataset, st.State)
+	if st.Progress.Total > 0 {
+		fmt.Printf("  %d/%d", st.Progress.Completed, st.Progress.Total)
+	}
+	if st.Error != "" {
+		fmt.Printf("  error=%q", st.Error)
+	}
+	fmt.Println()
+	if st.Digest != "" {
+		fmt.Printf("figure digest:\n%s", st.Digest)
+	}
+}
+
+func listCampaigns(base string) int {
+	resp, err := httpClient.Get(base + "/v1/campaigns")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaigns: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "campaigns: GET /v1/campaigns: %s\n", resp.Status)
+		return 1
+	}
+	var doc struct {
+		Campaigns []service.Status `json:"campaigns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		fmt.Fprintf(os.Stderr, "campaigns: decode list: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%-9s %-10s %-10s %-6s %-12s %s\n", "ID", "TENANT", "PROGRAM", "SCALE", "STATE", "PROGRESS")
+	for _, st := range doc.Campaigns {
+		prog := "-"
+		if st.Progress.Total > 0 {
+			prog = fmt.Sprintf("%d/%d", st.Progress.Completed, st.Progress.Total)
+		}
+		fmt.Printf("%-9s %-10s %-10s %-6s %-12s %s\n",
+			st.ID, st.Tenant, st.Program, st.Scale, st.State, prog)
+	}
+	fmt.Printf("%d campaigns\n", len(doc.Campaigns))
+	return 0
+}

@@ -33,7 +33,7 @@ import (
 func main() {
 	var (
 		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,10,13,14,15,16,alpha,instr,all")
-		scale    = flag.String("scale", "quick", "experiment scale: quick or full")
+		scale    = flag.String("scale", "quick", "experiment scale: quick or full (plus tiny for -campaigns -submit)")
 		md       = flag.Bool("md", false, "emit markdown instead of text tables")
 		trace    = flag.String("trace", "", "render this JSONL event journal as a detect/diagnose/recover timeline instead of regenerating figures")
 		campaign = flag.String("campaign", "", "merge the shard logs of this campaign store directory (written by `hauberk-run -campaign-dir`) and report the aggregate figures")
@@ -45,6 +45,17 @@ func main() {
 		tailN    = flag.Int("tail-n", 10, "number of events -tail waits for")
 		tailWait = flag.Duration("tail-wait", 30*time.Second, "how long -tail waits for its events before giving up")
 		promlint = flag.String("promlint", "", "strict-parse this Prometheus text exposition file (\"-\" = stdin)")
+
+		campaigns   = flag.String("campaigns", "", "hauberkd base URL: list campaigns, or act on one with -submit/-id/-cancel/-wait/-events/-digest")
+		submit      = flag.String("submit", "", "-campaigns: submit a campaign of this program (scale from -scale, dataset from -dataset)")
+		dataset     = flag.Int("dataset", 0, "-campaigns -submit: dataset index")
+		tenant      = flag.String("tenant", "default", "-campaigns -submit: tenant name")
+		id          = flag.String("id", "", "-campaigns: target campaign id")
+		cancelFlag  = flag.Bool("cancel", false, "-campaigns: cancel the target campaign")
+		wait        = flag.Bool("wait", false, "-campaigns: poll the target campaign to a terminal state; non-zero exit unless done")
+		eventsN     = flag.Int("events", 0, "-campaigns: stream this many events from the target campaign's feed")
+		digestOnly  = flag.Bool("digest", false, "-campaigns: print only the campaign's figure digest bytes")
+		waitTimeout = flag.Duration("wait-timeout", 5*time.Minute, "-campaigns: deadline for -wait and 429 retries")
 
 		benchDiff   = flag.Bool("bench-diff", false, "compare two BENCH_perf.json reports (old new, as positional args) and exit non-zero on regression")
 		benchThresh = flag.Float64("bench-threshold", 5, "allowed slowdown in percent before -bench-diff fails")
@@ -76,6 +87,22 @@ func main() {
 	}
 	if *promlint != "" {
 		os.Exit(promlintPath(*promlint))
+	}
+	if *campaigns != "" {
+		os.Exit(campaignsCmd(campaignsOpts{
+			base:    *campaigns,
+			submit:  *submit,
+			scale:   *scale,
+			dataset: *dataset,
+			tenant:  *tenant,
+			id:      *id,
+			cancel:  *cancelFlag,
+			wait:    *wait,
+			events:  *eventsN,
+			digest:  *digestOnly,
+			poll:    *poll,
+			timeout: *waitTimeout,
+		}))
 	}
 
 	if *trace != "" {

@@ -122,7 +122,7 @@ func run() int {
 		campaignDir = flag.String("campaign-dir", "", "run a durable injection campaign, storing results under this directory")
 		resume      = flag.Bool("resume", false, "resume the campaign in -campaign-dir from its completed set")
 		shardSpec   = flag.String("shard", "0/1", "campaign shard i/N: run plan indices where idx%N == i")
-		scaleName   = flag.String("scale", "quick", "campaign scale: quick or full")
+		scaleName   = flag.String("scale", "quick", "campaign scale: tiny, quick or full")
 		abortAfter  = flag.Int("campaign-abort-after", 0, "testing hook: interrupt the campaign after N durable results (simulates a mid-run kill)")
 		isolation   = flag.String("isolation", "off", "campaign injection isolation: off (in-process) or process (supervised worker subprocesses)")
 		workerMode  = flag.Bool("worker", false, "internal: serve injection requests as a worker subprocess (framed protocol on stdin/stdout)")
@@ -262,13 +262,8 @@ func run() int {
 		}
 	}
 
-	var sc harness.Scale
-	switch *scaleName {
-	case "quick":
-		sc = harness.QuickScale()
-	case "full":
-		sc = harness.FullScale()
-	default:
+	sc, ok := harness.ScaleByName(*scaleName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		return 2
 	}
@@ -443,17 +438,12 @@ func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, d
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	golden, err := env.Golden(spec, ds)
+	pc, err := env.PrepareCampaign(spec, ds)
 	if err != nil {
 		return fail(err)
 	}
-	prof, err := env.Profile(spec, []workloads.Dataset{ds})
-	if err != nil {
-		return fail(err)
-	}
-	plan := env.PlanCampaign(spec, prof, env.Scale.BitCounts)
 	fmt.Printf("campaign: %d injections planned for %s (shard %d/%d, store %s, isolation %s)\n",
-		len(plan), spec.Name, shard, shards, dir, isolation)
+		len(pc.Plan), spec.Name, shard, shards, dir, isolation)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -500,7 +490,7 @@ func runCampaign(env *harness.Env, spec *workloads.Spec, ds workloads.Dataset, d
 			}
 		}
 	}
-	cr, err := env.RunCampaignDurable(ctx, spec, golden, prof.Store, translate.ModeFIFT, plan, opts)
+	cr, err := env.RunPrepared(ctx, pc, opts)
 	if errors.Is(err, harness.ErrCampaignInterrupted) {
 		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 		return exitResumable

@@ -81,6 +81,36 @@ func QuickScale() Scale {
 	}
 }
 
+// TinyScale plans the smallest meaningful campaign (four injections):
+// the unit of work for the hauberkd load harness, which submits
+// thousands of concurrent campaigns and cares about scheduling
+// throughput, not statistical power.
+func TinyScale() Scale {
+	return Scale{
+		MaxSites:         2,
+		MasksPerSite:     2,
+		BitCounts:        []int{1},
+		Fig15Samples:     500,
+		Fig16Repeats:     1,
+		Fig16Checkpoints: []int{1, 5},
+	}
+}
+
+// ScaleByName resolves the CLI/API scale names. The daemon and the CLI
+// share this mapping, which is one of the preconditions for their
+// figure digests being byte-identical on the same submission.
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "tiny":
+		return TinyScale(), true
+	case "quick":
+		return QuickScale(), true
+	case "full":
+		return FullScale(), true
+	}
+	return Scale{}, false
+}
+
 // Env carries shared experiment state. It caches instrumented kernels
 // (instrumentation is deterministic, and kernels are read-only at launch
 // time, so one instrumented kernel serves all concurrent runs).
@@ -93,8 +123,17 @@ type Env struct {
 	// call WithObs) before launching experiments to collect a journal.
 	Obs *obs.Telemetry
 
-	mu    sync.Mutex
-	cache map[string]*translate.Result
+	cache *instCache
+}
+
+// instCache is the shared instrumented-kernel cache. It lives behind a
+// pointer so Clone-derived environments (one per daemon campaign, each
+// with its own telemetry) share one cache: instrumentation is
+// deterministic and its results read-only, so reuse across concurrent
+// campaigns is safe and keeps per-submission setup cheap.
+type instCache struct {
+	mu sync.Mutex
+	m  map[string]*translate.Result
 }
 
 // NewEnv builds an environment with the default simulated device.
@@ -103,7 +142,7 @@ func NewEnv(scale Scale) *Env {
 		Scale:  scale,
 		Config: gpu.DefaultConfig(),
 		Obs:    obs.Nop(),
-		cache:  make(map[string]*translate.Result),
+		cache:  &instCache{m: make(map[string]*translate.Result)},
 	}
 }
 
@@ -113,23 +152,34 @@ func (e *Env) WithObs(t *obs.Telemetry) *Env {
 	return e
 }
 
+// Clone returns a shallow copy sharing the instrument cache (and the
+// process-wide pooled scheduler state, which is global already). The
+// copy's Scale/Config/Obs can diverge freely, which is how the daemon
+// gives every concurrent campaign its own telemetry plane while reusing
+// one set of instrumented kernels. The clone is as reentrant as the
+// original: campaign runs hold no Env state beyond the cache.
+func (e *Env) Clone() *Env {
+	return &Env{Scale: e.Scale, Config: e.Config, Obs: e.Obs, cache: e.cache}
+}
+
 // Instrument returns the (cached) instrumentation of a program for the
 // given options.
 func (e *Env) Instrument(spec *workloads.Spec, opts translate.Options) (*translate.Result, error) {
 	key := fmt.Sprintf("%s|%d|%d|%v|%v|%v|%s", spec.Name, opts.Mode, opts.MaxVar, opts.NonLoop, opts.Loop, opts.NaiveDup, opts.OnlyVar)
-	e.mu.Lock()
-	if r, ok := e.cache[key]; ok {
-		e.mu.Unlock()
+	c := e.cache
+	c.mu.Lock()
+	if r, ok := c.m[key]; ok {
+		c.mu.Unlock()
 		return r, nil
 	}
-	e.mu.Unlock()
+	c.mu.Unlock()
 	r, err := translate.Instrument(spec.Build(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("harness: instrument %s: %w", spec.Name, err)
 	}
-	e.mu.Lock()
-	e.cache[key] = r
-	e.mu.Unlock()
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
 	return r, nil
 }
 

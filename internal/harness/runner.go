@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"context"
+
+	"hauberk/internal/core/translate"
+	"hauberk/internal/workloads"
+)
+
+// PreparedCampaign is everything a durable campaign run needs beyond
+// CampaignOptions: the golden reference, the profiled range store and
+// execution counts, and the deterministic injection plan. Preparation is
+// pure and deterministic for a given (program, dataset, Scale), so a
+// prepared campaign can be cached and shared by concurrent runs — the
+// daemon prepares each (program, scale) pair once and executes every
+// matching submission against the shared preparation, while hauberk-run
+// prepares per invocation; both produce byte-identical figure digests.
+type PreparedCampaign struct {
+	Spec    *workloads.Spec
+	Dataset workloads.Dataset
+	Golden  *GoldenRun
+	Prof    *ProfileResult
+	Mode    translate.Mode
+	Plan    []Injection
+}
+
+// PrepareCampaign derives the golden run, profile, and injection plan
+// for a durable campaign of the program on one dataset — the setup half
+// of what `hauberk-run -campaign-dir` does, extracted so the daemon and
+// the CLI run literally the same code ahead of RunPrepared.
+func (e *Env) PrepareCampaign(spec *workloads.Spec, ds workloads.Dataset) (*PreparedCampaign, error) {
+	golden, err := e.Golden(spec, ds)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := e.Profile(spec, []workloads.Dataset{ds})
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedCampaign{
+		Spec:    spec,
+		Dataset: ds,
+		Golden:  golden,
+		Prof:    prof,
+		Mode:    translate.ModeFIFT,
+		Plan:    e.PlanCampaign(spec, prof, e.Scale.BitCounts),
+	}, nil
+}
+
+// RunPrepared executes (or resumes) one shard of a prepared campaign —
+// the reentrant library entry behind both `hauberk-run -campaign-dir`
+// and a hauberkd submission. The preparation is read-only during the
+// run, so one PreparedCampaign may back any number of concurrent
+// RunPrepared calls with distinct stores.
+func (e *Env) RunPrepared(ctx context.Context, pc *PreparedCampaign, opts CampaignOptions) (*CampaignResult, error) {
+	return e.RunCampaignDurable(ctx, pc.Spec, pc.Golden, pc.Prof.Store, pc.Mode, pc.Plan, opts)
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"hauberk/internal/core/translate"
+	"hauberk/internal/workloads"
+)
+
+// TestPreparedCampaignMatchesDurable pins the service refactor's
+// contract: PrepareCampaign + RunPrepared is the same computation as
+// RunCampaignDurable on the directly derived plan, and one shared
+// preparation backs multiple runs with byte-identical figure digests.
+func TestPreparedCampaignMatchesDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	e := NewEnv(tinyScale())
+	spec := workloads.ByName("CP")
+	ds := workloads.Dataset{Index: 0}
+
+	pc, err := e.PrepareCampaign(spec, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Mode != translate.ModeFIFT {
+		t.Fatalf("prepared mode = %v, want ModeFIFT", pc.Mode)
+	}
+	if len(pc.Plan) < 8 {
+		t.Fatalf("prepared plan has only %d injections", len(pc.Plan))
+	}
+
+	ref, err := e.RunCampaignDurable(context.Background(), spec, pc.Golden,
+		pc.Prof.Store, pc.Mode, pc.Plan, CampaignOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two runs against the one preparation, each with its own store.
+	for i := 0; i < 2; i++ {
+		got, err := e.RunPrepared(context.Background(), pc, CampaignOptions{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.FigureDigest() != ref.FigureDigest() {
+			t.Fatalf("RunPrepared %d digest differs from RunCampaignDurable:\n%s\nvs\n%s",
+				i, got.FigureDigest(), ref.FigureDigest())
+		}
+	}
+}

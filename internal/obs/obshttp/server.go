@@ -130,115 +130,146 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- /metrics ---------------------------------------------------------------
 
+// MetricsHandler serves a registry as Prometheus text exposition. stamp,
+// if non-nil, runs before every write so serving-standard series
+// (uptime, goroutines, build info) are fresh at scrape time. Exported so
+// hauberkd mounts the exact handler the embedded monitor uses.
+func MetricsHandler(reg *obs.Registry, stamp func(*obs.Registry)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.Error(w, "no metrics registry", http.StatusServiceUnavailable)
+			return
+		}
+		if stamp != nil {
+			stamp(reg)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteProm(w) //nolint:errcheck // client gone mid-write is not actionable
+	}
+}
+
 // handleMetrics refreshes the process-level series and writes the whole
 // registry as Prometheus text.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	reg := s.cfg.Registry
-	if reg == nil {
-		http.Error(w, "no metrics registry", http.StatusServiceUnavailable)
-		return
-	}
-	s.stampProcessSeries(reg)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	reg.WriteProm(w) //nolint:errcheck // client gone mid-write is not actionable
+	MetricsHandler(s.cfg.Registry, s.stampProcessSeries)(w, r)
 }
 
 // stampProcessSeries refreshes the serving-standard series on the
 // registry at scrape time.
 func (s *Server) stampProcessSeries(reg *obs.Registry) {
+	dropped := func() int64 { return 0 }
+	if b := s.cfg.Broadcaster; b != nil {
+		dropped = b.Dropped
+	}
+	StampProcessSeries(reg, s.start, dropped)
+}
+
+// StampProcessSeries refreshes the serving-standard series (build info,
+// uptime since start, goroutine count, dropped live events) on a
+// registry. dropped may be nil when no broadcaster is wired.
+func StampProcessSeries(reg *obs.Registry, start time.Time, dropped func() int64) {
 	reg.Help("hauberk_build_info", "build identity; value is always 1")
 	reg.Gauge("hauberk_build_info",
 		"version", version.Version, "goversion", version.GoVersion()).Set(1)
 	reg.Help("hauberk_uptime_seconds", "seconds since the monitor server started")
-	reg.Gauge("hauberk_uptime_seconds").Set(time.Since(s.start).Seconds())
+	reg.Gauge("hauberk_uptime_seconds").Set(time.Since(start).Seconds())
 	reg.Help("hauberk_goroutines", "live goroutines in the process")
 	reg.Gauge("hauberk_goroutines").Set(float64(runtime.NumGoroutine()))
-	if b := s.cfg.Broadcaster; b != nil {
+	if dropped != nil {
 		reg.Help("hauberk_events_dropped_total",
 			"live-tail events dropped across all /events subscribers (journal stays complete)")
-		reg.Gauge("hauberk_events_dropped_total").Set(float64(b.Dropped()))
+		reg.Gauge("hauberk_events_dropped_total").Set(float64(dropped()))
 	}
 }
 
 // --- /events ----------------------------------------------------------------
 
-// handleEvents streams the event journal: retained history first (bounded
-// by ?replay=N), then live events until the client disconnects or the
-// server shuts down. NDJSON lines by default; SSE frames when asked.
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	b := s.cfg.Broadcaster
-	if b == nil {
-		http.Error(w, "event streaming disabled", http.StatusGone)
-		return
-	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	sse := r.URL.Query().Get("format") == "sse" ||
-		r.Header.Get("Accept") == "text/event-stream"
-	replay := -1 // all retained history
-	if v := r.URL.Query().Get("replay"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			http.Error(w, "bad replay count", http.StatusBadRequest)
+// EventsHandler streams a broadcaster's event journal: retained history
+// first (bounded by ?replay=N), then live events until the client
+// disconnects. NDJSON lines by default; SSE frames with ?format=sse or
+// an Accept: text/event-stream header. Exported so hauberkd serves each
+// campaign's event feed through the same code path as the monitor's
+// process-wide /events.
+func EventsHandler(b *obs.Broadcaster) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if b == nil {
+			http.Error(w, "event streaming disabled", http.StatusGone)
 			return
 		}
-		replay = n
-	}
-
-	sub := b.Subscribe(1024)
-	defer sub.Close()
-	if sse {
-		w.Header().Set("Content-Type", "text/event-stream")
-		w.Header().Set("Cache-Control", "no-cache")
-	} else {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-	}
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
-
-	var buf []byte
-	write := func(e obs.Event) bool {
-		buf = buf[:0]
-		if sse {
-			buf = append(buf, "data: "...)
-		}
-		buf = e.AppendJSON(buf)
-		buf = append(buf, '\n')
-		if sse {
-			buf = append(buf, '\n')
-		}
-		if _, err := w.Write(buf); err != nil {
-			return false
-		}
-		flusher.Flush()
-		return true
-	}
-
-	hist := sub.Replay()
-	if replay >= 0 && replay < len(hist) {
-		hist = hist[len(hist)-replay:]
-	}
-	for _, e := range hist {
-		if !write(e) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 			return
 		}
-	}
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case e, ok := <-sub.Events():
-			if !ok {
+		sse := r.URL.Query().Get("format") == "sse" ||
+			r.Header.Get("Accept") == "text/event-stream"
+		replay := -1 // all retained history
+		if v := r.URL.Query().Get("replay"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad replay count", http.StatusBadRequest)
 				return
 			}
+			replay = n
+		}
+
+		sub := b.Subscribe(1024)
+		defer sub.Close()
+		if sse {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+
+		var buf []byte
+		write := func(e obs.Event) bool {
+			buf = buf[:0]
+			if sse {
+				buf = append(buf, "data: "...)
+			}
+			buf = e.AppendJSON(buf)
+			buf = append(buf, '\n')
+			if sse {
+				buf = append(buf, '\n')
+			}
+			if _, err := w.Write(buf); err != nil {
+				return false
+			}
+			flusher.Flush()
+			return true
+		}
+
+		hist := sub.Replay()
+		if replay >= 0 && replay < len(hist) {
+			hist = hist[len(hist)-replay:]
+		}
+		for _, e := range hist {
 			if !write(e) {
 				return
 			}
 		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case e, ok := <-sub.Events():
+				if !ok {
+					return
+				}
+				if !write(e) {
+					return
+				}
+			}
+		}
 	}
+}
+
+// handleEvents streams the event journal through the shared handler.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	EventsHandler(s.cfg.Broadcaster)(w, r)
 }
 
 // --- /campaign --------------------------------------------------------------
@@ -257,20 +288,42 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 
 // --- health -----------------------------------------------------------------
 
+// HealthzHandler is the liveness check: 200 once serving.
+func HealthzHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// ReadyzHandler reports readiness through the supplied probe: a false
+// result answers 503 with the reason.
+func ReadyzHandler(ready func() (bool, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil {
+			if ok, reason := ready(); !ok {
+				http.Error(w, reason, http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ready")
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
+	HealthzHandler()(w, r)
 }
 
 // handleReadyz reports readiness: serving and, when a tracker is wired,
 // at least one journal event folded in (the run has actually started).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if t := s.cfg.Tracker; t != nil {
-		if snap := t.Snapshot(); snap.LastSeq == 0 && snap.State == "idle" {
-			http.Error(w, "no telemetry yet", http.StatusServiceUnavailable)
-			return
+	ReadyzHandler(func() (bool, string) {
+		if t := s.cfg.Tracker; t != nil {
+			if snap := t.Snapshot(); snap.LastSeq == 0 && snap.State == "idle" {
+				return false, "no telemetry yet"
+			}
 		}
-	}
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ready")
+		return true, ""
+	})(w, r)
 }

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hauberk/internal/obs"
+)
+
+// State is a campaign's lifecycle position in the daemon.
+type State string
+
+// Campaign states. Queued, running and interrupted campaigns are
+// requeued on daemon restart (interrupted ones resume from their
+// durable store); done, failed and canceled are terminal.
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateInterrupted State = "interrupted"
+)
+
+// Terminal reports whether the state is final (no restart requeue).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Campaign is one submitted campaign's record in the daemon: identity,
+// schedule state, and the per-campaign telemetry plane (broadcaster,
+// progress tracker) backing /v1/campaigns/{id} and its /events feed.
+type Campaign struct {
+	ID        string
+	Tenant    string
+	Program   string
+	ScaleName string
+	Dataset   int
+	Isolation string
+
+	mu          sync.Mutex
+	state       State
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	digest      string
+	errMsg      string
+	// canceled marks a cancel request; an interrupt of a canceled
+	// campaign terminates as StateCanceled rather than resumable.
+	canceled bool
+	// resume tells the executor the durable store already holds results
+	// (the campaign was interrupted, or the daemon restarted mid-run).
+	resume bool
+	cancel context.CancelFunc
+
+	// enqueuedAt is stamped by the scheduler for queue-latency metrics.
+	enqueuedAt time.Time
+
+	dir     string
+	bcast   *obs.Broadcaster
+	tracker *obs.ProgressTracker
+	tel     *obs.Telemetry
+}
+
+// newCampaign wires the in-memory record with its telemetry plane: a
+// broadcaster (no inner journal file — the durable store is the record
+// of truth) with a synchronous progress tracker, exactly the monitor
+// plumbing of `hauberk-run -http`, but scoped to this one campaign.
+func newCampaign(id, tenant, program, scale string, dataset int, isolation, dir string) *Campaign {
+	b := obs.NewBroadcaster(nil)
+	tr := obs.NewProgressTracker()
+	b.Attach(tr)
+	return &Campaign{
+		ID:          id,
+		Tenant:      tenant,
+		Program:     program,
+		ScaleName:   scale,
+		Dataset:     dataset,
+		Isolation:   isolation,
+		state:       StateQueued,
+		submittedAt: time.Now(),
+		dir:         dir,
+		bcast:       b,
+		tracker:     tr,
+		tel:         obs.New(b),
+	}
+}
+
+// Status is the campaign's JSON wire form (API responses and the
+// `hauberk-report -campaigns` client).
+type Status struct {
+	ID          string    `json:"id"`
+	Tenant      string    `json:"tenant"`
+	Program     string    `json:"program"`
+	Scale       string    `json:"scale"`
+	Dataset     int       `json:"dataset"`
+	Isolation   string    `json:"isolation,omitempty"`
+	State       State     `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// Digest is the campaign's FigureDigest once done — the byte-exact
+	// string `hauberk-run -campaign-dir` prints for the same plan.
+	Digest string `json:"digest,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Progress is the live tracker snapshot (completed/total, rate,
+	// ETA, outcome tallies) — same document the monitor's /campaign
+	// endpoint serves.
+	Progress obs.ProgressSnapshot `json:"progress"`
+}
+
+// Status snapshots the campaign for the API.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		ID:          c.ID,
+		Tenant:      c.Tenant,
+		Program:     c.Program,
+		Scale:       c.ScaleName,
+		Dataset:     c.Dataset,
+		Isolation:   c.Isolation,
+		State:       c.state,
+		SubmittedAt: c.submittedAt,
+		StartedAt:   c.startedAt,
+		FinishedAt:  c.finishedAt,
+		Digest:      c.digest,
+		Error:       c.errMsg,
+		Progress:    c.tracker.Snapshot(),
+	}
+}
+
+// State returns the current lifecycle state.
+func (c *Campaign) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// meta is the submission's durable form, persisted as submission.json
+// in the campaign directory next to the store's manifest and shard
+// logs. It is what lets a restarted daemon rebuild its campaign table
+// and requeue unfinished work.
+type meta struct {
+	ID          string    `json:"id"`
+	Tenant      string    `json:"tenant"`
+	Program     string    `json:"program"`
+	Scale       string    `json:"scale"`
+	Dataset     int       `json:"dataset"`
+	Isolation   string    `json:"isolation,omitempty"`
+	State       State     `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	Digest      string    `json:"digest,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+const metaFile = "submission.json"
+
+// persist writes the campaign's durable form atomically (tmp + rename)
+// so a kill mid-write leaves the previous state, never a torn file.
+func (c *Campaign) persist() error {
+	c.mu.Lock()
+	m := meta{
+		ID:          c.ID,
+		Tenant:      c.Tenant,
+		Program:     c.Program,
+		Scale:       c.ScaleName,
+		Dataset:     c.Dataset,
+		Isolation:   c.Isolation,
+		State:       c.state,
+		SubmittedAt: c.submittedAt,
+		StartedAt:   c.startedAt,
+		FinishedAt:  c.finishedAt,
+		Digest:      c.digest,
+		Error:       c.errMsg,
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encode %s: %w", metaFile, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	tmp := filepath.Join(dir, metaFile+".tmp")
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("service: write %s: %w", metaFile, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, metaFile)); err != nil {
+		return fmt.Errorf("service: commit %s: %w", metaFile, err)
+	}
+	return nil
+}
+
+// loadMeta reads a campaign directory's submission.json.
+func loadMeta(dir string) (meta, error) {
+	var m meta
+	raw, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("service: corrupt %s in %s: %w", metaFile, dir, err)
+	}
+	return m, nil
+}
+
+// restoreCampaign rebuilds an in-memory record from its durable form
+// (daemon restart). The telemetry plane is fresh — event history from
+// the previous process is gone, but the durable store is complete.
+func restoreCampaign(m meta, dir string) *Campaign {
+	c := newCampaign(m.ID, m.Tenant, m.Program, m.Scale, m.Dataset, m.Isolation, dir)
+	c.state = m.State
+	c.submittedAt = m.SubmittedAt
+	c.startedAt = m.StartedAt
+	c.finishedAt = m.FinishedAt
+	c.digest = m.Digest
+	c.errMsg = m.Error
+	return c
+}
