@@ -22,7 +22,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 # fast, attributable failure.
 SMOKE_TIMEOUT ?= 600s
 
-.PHONY: all build test check fmt vet lint tools race cover bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke service-smoke bench bench-obs bench-perf bench-service
+.PHONY: all build test check fmt vet lint tools race cover bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke service-smoke fleet-smoke bench bench-obs bench-perf bench-service
 
 all: build
 
@@ -35,7 +35,7 @@ test:
 # check is the pre-commit gate and the single source of truth for CI:
 # every job in .github/workflows/ci.yml runs one of the targets below, so
 # a green `make check` locally means a green pipeline.
-check: fmt vet lint build cover race bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke service-smoke
+check: fmt vet lint build cover race bench-smoke bench-diff campaign-smoke chaos-smoke monitor-smoke service-smoke fleet-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -105,6 +105,13 @@ monitor-smoke:
 # byte-identical to an uninterrupted `hauberk-run` of the same plan.
 service-smoke:
 	VERSION=$(VERSION) timeout $(SMOKE_TIMEOUT) ./scripts/service_smoke.sh
+
+# fleet-smoke drives hauberk-fleet across three real hauberkd nodes:
+# clean run, netdrop/netstall chaos on the coordinator's own RPCs, and
+# kill -9 of a node mid-shard with failover — every leg's figure digest
+# must be byte-identical to a single uninterrupted `hauberk-run`.
+fleet-smoke:
+	VERSION=$(VERSION) timeout $(SMOKE_TIMEOUT) ./scripts/fleet_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,14 +1,14 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"time"
 
+	"hauberk/internal/fleet"
 	"hauberk/internal/service"
 )
 
@@ -97,47 +97,21 @@ func campaignsCmd(o campaignsOpts) int {
 	}
 }
 
+// submitCampaign posts through the fleet transport, which bounds the
+// 429 retry loop: admission pushback retries at most MaxAttempts times,
+// each honored Retry-After capped and jittered — a daemon stuck
+// answering 429 can no longer park the client until its deadline.
 func submitCampaign(o campaignsOpts) (service.Status, error) {
-	body, err := json.Marshal(service.Submission{
+	tr := fleet.NewTransport(httpClient.Timeout)
+	tr.MaxAttempts = 6
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+	return tr.Client(o.base).Submit(ctx, service.Submission{
 		Tenant:  o.tenant,
 		Program: o.submit,
 		Scale:   o.scale,
 		Dataset: o.dataset,
 	})
-	if err != nil {
-		return service.Status{}, err
-	}
-	deadline := time.Now().Add(o.timeout)
-	for {
-		resp, err := httpClient.Post(o.base+"/v1/campaigns", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return service.Status{}, err
-		}
-		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		resp.Body.Close() //nolint:errcheck
-		if rerr != nil {
-			return service.Status{}, rerr
-		}
-		if resp.StatusCode == http.StatusTooManyRequests && time.Now().Before(deadline) {
-			// Admission control pushed back; honor the hint and retry.
-			wait := time.Second
-			if s := resp.Header.Get("Retry-After"); s != "" {
-				if n, perr := time.ParseDuration(s + "s"); perr == nil && n > 0 {
-					wait = n
-				}
-			}
-			time.Sleep(wait)
-			continue
-		}
-		if resp.StatusCode != http.StatusCreated {
-			return service.Status{}, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(raw))
-		}
-		var st service.Status
-		if err := json.Unmarshal(raw, &st); err != nil {
-			return service.Status{}, fmt.Errorf("submit response: %w", err)
-		}
-		return st, nil
-	}
 }
 
 func getCampaign(base, id string) (service.Status, error) {

@@ -1,0 +1,97 @@
+package fleet
+
+// Verdict is the coordinator's judgment of one node, folded from
+// /readyz probes, RPC outcomes and campaign results. It decides
+// dispatch: Healthy nodes are preferred, Degraded nodes are used only
+// when no healthy node is free, Quarantined nodes get no work at all —
+// their in-flight shards are salvaged and re-dispatched — until
+// probation probes walk them back down the ladder.
+type Verdict int
+
+const (
+	// Healthy nodes take new shards first.
+	Healthy Verdict = iota
+	// Degraded nodes recently failed a probe or RPC (or dropped a
+	// shard); they are deprioritized but still dispatchable.
+	Degraded
+	// Quarantined nodes failed QuarantineAfter consecutive times; they
+	// are drained and skipped. Probation: successful probes demote the
+	// verdict one step per RecoverAfter successes, so a recovered node
+	// re-earns trust (Quarantined -> Degraded -> Healthy) instead of
+	// snapping straight back to the front of the roster.
+	Quarantined
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	}
+	return "verdict(?)"
+}
+
+// VerdictPolicy tunes the health fold.
+type VerdictPolicy struct {
+	// QuarantineAfter is how many consecutive failures quarantine a
+	// node (minimum 1; default 3).
+	QuarantineAfter int
+	// RecoverAfter is how many consecutive successes demote the verdict
+	// one step toward Healthy (minimum 1; default 2).
+	RecoverAfter int
+}
+
+func (p VerdictPolicy) withDefaults() VerdictPolicy {
+	if p.QuarantineAfter < 1 {
+		p.QuarantineAfter = 3
+	}
+	if p.RecoverAfter < 1 {
+		p.RecoverAfter = 2
+	}
+	return p
+}
+
+// nodeHealth folds a stream of per-node observations (probe results,
+// RPC outcomes, campaign dispositions) into a Verdict. Not safe for
+// concurrent use; the coordinator's event loop owns it.
+type nodeHealth struct {
+	policy  VerdictPolicy
+	verdict Verdict
+	fails   int
+	oks     int
+}
+
+func newNodeHealth(p VerdictPolicy) *nodeHealth {
+	return &nodeHealth{policy: p.withDefaults()}
+}
+
+// observe records one outcome and returns the updated verdict. Any
+// failure interrupts recovery (the success counter resets); any
+// success resets the failure streak. A single failure degrades — one
+// dropped RPC is enough to deprioritize a node behind its clean peers —
+// and QuarantineAfter consecutive failures quarantine.
+func (h *nodeHealth) observe(ok bool) Verdict {
+	if ok {
+		h.fails = 0
+		h.oks++
+		if h.verdict != Healthy && h.oks >= h.policy.RecoverAfter {
+			h.verdict--
+			h.oks = 0
+		}
+		return h.verdict
+	}
+	h.oks = 0
+	h.fails++
+	if h.fails >= h.policy.QuarantineAfter {
+		h.verdict = Quarantined
+	} else {
+		h.verdict = Degraded
+	}
+	return h.verdict
+}
+
+// Verdict returns the current verdict without observing anything.
+func (h *nodeHealth) Verdict() Verdict { return h.verdict }

@@ -28,6 +28,14 @@
 // chaos campaigns byte-identical to clean ones. An entry at index 0 is
 // persistent — every attempt of the first request dies — which is how
 // tests model a deterministically panicking or spinning workload.
+//
+// The net family (netdrop, netstall) injects failures into the fleet
+// coordinator's RPC fabric instead of worker processes: entries index the
+// coordinator's process-wide RPC attempt sequence, dropping a connection
+// before any bytes are sent (netdrop) or holding it open until the
+// per-RPC deadline fires (netstall). Net entries never restart their
+// sequence, so each is transient and the coordinator's bounded retry
+// must absorb it without changing the merged figure digest.
 package chaos
 
 import (
@@ -62,6 +70,14 @@ const (
 	// ModeSpin: keep heartbeating but never finish the request; only the
 	// execution-time watchdog deadline can catch it.
 	ModeSpin
+	// ModeNetDrop: fail an RPC attempt before any bytes reach the wire —
+	// a dropped coordinator→daemon connection. Net-family; never fires in
+	// workers or supervisors, only in the fleet RPC fabric.
+	ModeNetDrop
+	// ModeNetStall: hold an RPC attempt open without ever answering, so
+	// only the caller's per-RPC deadline can end it — a stalled TCP
+	// connection. Net-family, like ModeNetDrop.
+	ModeNetStall
 )
 
 func (m Mode) String() string {
@@ -78,6 +94,10 @@ func (m Mode) String() string {
 		return "panic"
 	case ModeSpin:
 		return "spin"
+	case ModeNetDrop:
+		return "netdrop"
+	case ModeNetStall:
+		return "netstall"
 	}
 	return "mode(?)"
 }
@@ -87,6 +107,7 @@ func (m Mode) String() string {
 type Plan struct {
 	worker map[int]Mode
 	spawn  map[int]bool
+	net    map[int]Mode
 }
 
 // Parse builds a Plan from the "mode@seq,mode@seq,..." spec. An empty
@@ -96,7 +117,7 @@ func Parse(spec string) (*Plan, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	p := &Plan{worker: make(map[int]Mode), spawn: make(map[int]bool)}
+	p := &Plan{worker: make(map[int]Mode), spawn: make(map[int]bool), net: make(map[int]Mode)}
 	for _, entry := range strings.Split(spec, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
@@ -123,6 +144,10 @@ func Parse(spec string) (*Plan, error) {
 			p.worker[seq] = ModeSpin
 		case "spawnfail":
 			p.spawn[seq] = true
+		case "netdrop":
+			p.net[seq] = ModeNetDrop
+		case "netstall":
+			p.net[seq] = ModeNetStall
 		default:
 			return nil, fmt.Errorf("chaos: entry %q: unknown mode %q", entry, name)
 		}
@@ -152,7 +177,20 @@ func (p *Plan) SpawnFails(seq int) bool {
 	return p != nil && p.spawn[seq]
 }
 
+// Net returns the failure mode for the seq-th RPC attempt (0-based,
+// counted process-wide by the fleet client). Unlike worker sequence
+// numbers, the RPC sequence never restarts, so every net entry is
+// transient by construction: the retry that follows it carries a higher
+// sequence number and goes through — which is what keeps net-chaos fleet
+// runs byte-identical to undisturbed ones.
+func (p *Plan) Net(seq int) Mode {
+	if p == nil {
+		return ModeNone
+	}
+	return p.net[seq]
+}
+
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.worker) == 0 && len(p.spawn) == 0)
+	return p == nil || (len(p.worker) == 0 && len(p.spawn) == 0 && len(p.net) == 0)
 }

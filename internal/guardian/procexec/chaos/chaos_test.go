@@ -48,8 +48,40 @@ func TestParseErrors(t *testing.T) {
 
 func TestNilPlanIsInert(t *testing.T) {
 	var p *Plan
-	if p.Worker(0) != ModeNone || p.SpawnFails(0) || !p.Empty() {
+	if p.Worker(0) != ModeNone || p.SpawnFails(0) || p.Net(0) != ModeNone || !p.Empty() {
 		t.Errorf("nil plan must inject nothing")
+	}
+}
+
+// TestParseNetFamily covers the fleet RPC fault modes: net entries live
+// in their own sequence space, never leak into Worker, and a net-only
+// plan is not Empty.
+func TestParseNetFamily(t *testing.T) {
+	p, err := Parse("netdrop@2,netstall@5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := p.Net(2); got != ModeNetDrop {
+		t.Errorf("Net(2) = %v, want netdrop", got)
+	}
+	if got := p.Net(5); got != ModeNetStall {
+		t.Errorf("Net(5) = %v, want netstall", got)
+	}
+	if p.Net(0) != ModeNone || p.Net(3) != ModeNone {
+		t.Errorf("unplanned RPC sequences must be ModeNone")
+	}
+	if p.Worker(2) != ModeNone || p.Worker(5) != ModeNone {
+		t.Errorf("net entries must not fire as worker modes")
+	}
+	if p.Empty() {
+		t.Errorf("net-only plan reports Empty")
+	}
+	mixed, err := Parse("kill@1,netdrop@1")
+	if err != nil {
+		t.Fatalf("Parse mixed: %v", err)
+	}
+	if mixed.Worker(1) != ModeKill || mixed.Net(1) != ModeNetDrop {
+		t.Errorf("worker and net families must coexist at the same index")
 	}
 }
 
@@ -72,6 +104,7 @@ func TestModeString(t *testing.T) {
 	names := map[Mode]string{
 		ModeNone: "none", ModeKill: "kill", ModeStall: "stall",
 		ModeCorrupt: "corrupt", ModePanic: "panic", ModeSpin: "spin",
+		ModeNetDrop: "netdrop", ModeNetStall: "netstall",
 		Mode(99): "mode(?)",
 	}
 	for m, want := range names {

@@ -47,7 +47,10 @@ type Manifest struct {
 	Scale string `json:"scale,omitempty"`
 }
 
-func (m Manifest) equal(o Manifest) bool {
+// Equal reports whether two manifests identify the same campaign. The
+// fleet coordinator uses it to refuse merging shard logs fetched from a
+// node that ran a different plan (seed or scale drift between daemons).
+func (m Manifest) Equal(o Manifest) bool {
 	return m.Program == o.Program && m.Mode == o.Mode &&
 		m.Injections == o.Injections && m.PlanHash == o.PlanHash &&
 		m.Scale == o.Scale
@@ -76,6 +79,19 @@ type Record struct {
 	// TimedOut marks a watchdog kill (hang classified by wall clock
 	// rather than the simulator's step budget).
 	TimedOut bool `json:"timed_out,omitempty"`
+}
+
+// Conflicts reports whether two records claiming the same plan index
+// disagree on any figure-bearing field. Retries is excluded: the number
+// of infrastructure retries behind a result varies with the environment
+// (a chaos run retries where a clean one does not) while the classified
+// outcome must not, and no figure aggregates it. Everything else —
+// identity, outcome, hang/activation/timeout flags, bits, class — is
+// deterministic for a given plan index, so a disagreement means one of
+// the logs is corrupt or belongs to a different plan.
+func (r Record) Conflicts(o Record) bool {
+	r.Retries, o.Retries = 0, 0
+	return r != o
 }
 
 const manifestFile = "manifest.json"
@@ -115,7 +131,7 @@ func Open(dir string, m Manifest, shard, shards int, resume bool) (*Store, error
 		if err := json.Unmarshal(raw, &have); err != nil {
 			return nil, fmt.Errorf("store: corrupt manifest %s: %w", mpath, err)
 		}
-		if !have.equal(m) {
+		if !have.Equal(m) {
 			return nil, fmt.Errorf("store: %s holds a different campaign (have %s/%s, want %s/%s)",
 				dir, have.Program, have.PlanHash, m.Program, m.PlanHash)
 		}
@@ -224,14 +240,24 @@ func readRecords(path string, tolerateTail bool) (map[int]Record, error) {
 			}
 			return nil, fmt.Errorf("store: %s line %d: %w", path, i+1, err)
 		}
+		if have, ok := done[r.Idx]; ok && have.Conflicts(r) {
+			return nil, fmt.Errorf("store: %s line %d: duplicate record for injection %d disagrees with an earlier line (outcome %d vs %d)",
+				path, i+1, r.Idx, r.Outcome, have.Outcome)
+		}
 		done[r.Idx] = r
 	}
 	return done, nil
 }
 
 // Load reads a campaign directory: the manifest plus every shard log,
-// merged and sorted by plan index. Duplicate indices (a record appended
-// twice across a resume boundary) keep the last occurrence.
+// merged and sorted by plan index. Duplicate indices are legitimate only
+// when the records agree (a record appended twice across a resume
+// boundary, or a shard re-executed on another node after a failover —
+// deterministic execution makes the re-run's records equal, up to retry
+// counts). Records that claim the same index but disagree on any
+// figure-bearing field mean the directory mixes logs from different
+// plans or holds real corruption, and merging them would silently skew
+// the aggregate — that is an error, never a last-writer-wins.
 func Load(dir string) (Manifest, []Record, error) {
 	var m Manifest
 	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
@@ -247,13 +273,20 @@ func Load(dir string) (Manifest, []Record, error) {
 	}
 	sort.Strings(paths)
 	merged := make(map[int]Record)
+	source := make(map[int]string)
 	for _, p := range paths {
 		recs, err := readRecords(p, true)
 		if err != nil {
 			return m, nil, err
 		}
 		for idx, r := range recs {
+			if have, ok := merged[idx]; ok && have.Conflicts(r) {
+				return m, nil, fmt.Errorf("store: conflicting records for injection %d: %s has outcome=%d hang=%v id=%q, %s has outcome=%d hang=%v id=%q (shard logs from different plans?)",
+					idx, filepath.Base(source[idx]), have.Outcome, have.Hang, have.ID,
+					filepath.Base(p), r.Outcome, r.Hang, r.ID)
+			}
 			merged[idx] = r
+			source[idx] = p
 		}
 	}
 	out := make([]Record, 0, len(merged))

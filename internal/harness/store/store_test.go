@@ -153,6 +153,123 @@ func TestStoreShardsMerge(t *testing.T) {
 	}
 }
 
+// writeShardLines writes a raw shard log under dir — the shape of a log
+// fetched from another node by the fleet coordinator, which may carry
+// any shard-*.jsonl name (canonical, or node-tagged partial salvage).
+func writeShardLines(t *testing.T, dir, name string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreMergeDedupesRedispatchedShard is the failover-idempotency
+// case: node A ran part of a shard and died mid-append (truncated
+// tail), the coordinator salvaged its partial log, and node B re-ran
+// the whole shard. The overlapping records are byte-equal because
+// execution is deterministic, so the merge must dedupe them — including
+// the record A lost to the truncated tail, which only B holds.
+func TestStoreMergeDedupesRedispatchedShard(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	m.Injections = 4
+	s, err := Open(dir, m, 0, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1's records, completed normally elsewhere.
+	s.Close()
+	writeShardLines(t, dir, ShardFile(1, 2),
+		`{"idx":1,"id":"b","outcome":2,"bits":1}`,
+		`{"idx":3,"id":"d","outcome":3,"bits":6}`)
+
+	// Node A's salvaged partial shard-0 log: one complete record, then a
+	// truncated tail from the kill (no trailing newline — the append died
+	// mid-line).
+	partial := `{"idx":0,"id":"a","outcome":1,"bits":1}` + "\n" + `{"idx":2,"id":"c","outc`
+	if err := os.WriteFile(filepath.Join(dir, "shard-0of2.partial.node-a.jsonl"), []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Node B's re-run of the full shard: same records (retries may
+	// differ — node B retried an infrastructure error node A never saw).
+	writeShardLines(t, dir, ShardFile(0, 2),
+		`{"idx":0,"id":"a","outcome":1,"bits":1,"retries":1}`,
+		`{"idx":2,"id":"c","outcome":4,"bits":6}`)
+
+	man, recs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load over redispatched shard: %v", err)
+	}
+	if len(recs) != 4 || Missing(man, recs) != 0 {
+		t.Fatalf("merged %d records (missing %d), want 4 complete", len(recs), Missing(man, recs))
+	}
+	for i, r := range recs {
+		if r.Idx != i {
+			t.Fatalf("records not dense and sorted: %+v", recs)
+		}
+	}
+}
+
+// TestStoreMergeRejectsConflictingRecords: two shard logs claiming the
+// same plan index with different outcomes mean the directory mixes
+// campaigns (or one log is corrupt); the merge must refuse rather than
+// silently keep one of them.
+func TestStoreMergeRejectsConflictingRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testManifest(), 0, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	writeShardLines(t, dir, ShardFile(0, 2),
+		`{"idx":0,"id":"a","outcome":1,"bits":1}`)
+	writeShardLines(t, dir, "shard-0of2.partial.node-a.jsonl",
+		`{"idx":0,"id":"a","outcome":3,"bits":1}`)
+	if _, _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "conflicting records") {
+		t.Fatalf("Load over conflicting duplicates: %v, want a conflicting-records error", err)
+	}
+
+	// A conflicting duplicate inside one log is equally corrupt.
+	dir2 := t.TempDir()
+	s, err = Open(dir2, testManifest(), 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	writeShardLines(t, dir2, ShardFile(0, 1),
+		`{"idx":0,"id":"a","outcome":1,"bits":1}`,
+		`{"idx":0,"id":"a","outcome":2,"bits":1}`)
+	if _, _, err := Load(dir2); err == nil || !strings.Contains(err.Error(), "duplicate record") {
+		t.Fatalf("Load over an in-file conflicting duplicate: %v, want a duplicate-record error", err)
+	}
+}
+
+// TestRecordConflicts pins which fields participate in the conflict
+// check: retries are environmental, everything else is identity.
+func TestRecordConflicts(t *testing.T) {
+	base := Record{Idx: 7, ID: "x", Outcome: 2, Hang: true, Bits: 6, Class: 3, TimedOut: true}
+	same := base
+	same.Retries = 5
+	if base.Conflicts(same) {
+		t.Error("records differing only in retries must not conflict")
+	}
+	for _, mut := range []func(*Record){
+		func(r *Record) { r.ID = "y" },
+		func(r *Record) { r.Outcome = 3 },
+		func(r *Record) { r.Hang = false },
+		func(r *Record) { r.Activated = true },
+		func(r *Record) { r.Bits = 1 },
+		func(r *Record) { r.Class = 0 },
+		func(r *Record) { r.TimedOut = false },
+	} {
+		other := base
+		mut(&other)
+		if !base.Conflicts(other) {
+			t.Errorf("mutated record %+v must conflict with %+v", other, base)
+		}
+	}
+}
+
 func TestStoreInvalidShard(t *testing.T) {
 	for _, tc := range []struct{ shard, shards int }{{-1, 2}, {2, 2}, {0, 0}} {
 		if _, err := Open(t.TempDir(), testManifest(), tc.shard, tc.shards, false); err == nil {

@@ -42,6 +42,10 @@ type Campaign struct {
 	ScaleName string
 	Dataset   int
 	Isolation string
+	// Shard/Shards scope the campaign to one slice of the plan (fleet
+	// dispatch); Shards == 1 means the whole plan.
+	Shard  int
+	Shards int
 
 	mu          sync.Mutex
 	state       State
@@ -70,18 +74,25 @@ type Campaign struct {
 // newCampaign wires the in-memory record with its telemetry plane: a
 // broadcaster (no inner journal file — the durable store is the record
 // of truth) with a synchronous progress tracker, exactly the monitor
-// plumbing of `hauberk-run -http`, but scoped to this one campaign.
-func newCampaign(id, tenant, program, scale string, dataset int, isolation, dir string) *Campaign {
+// plumbing of `hauberk-run -http`, but scoped to this one campaign. The
+// submission must already be validated and defaulted (Shards >= 1).
+func newCampaign(id string, sub Submission, dir string) *Campaign {
 	b := obs.NewBroadcaster(nil)
 	tr := obs.NewProgressTracker()
 	b.Attach(tr)
+	shards := sub.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	return &Campaign{
 		ID:          id,
-		Tenant:      tenant,
-		Program:     program,
-		ScaleName:   scale,
-		Dataset:     dataset,
-		Isolation:   isolation,
+		Tenant:      sub.Tenant,
+		Program:     sub.Program,
+		ScaleName:   sub.Scale,
+		Dataset:     sub.Dataset,
+		Isolation:   sub.Isolation,
+		Shard:       sub.Shard,
+		Shards:      shards,
 		state:       StateQueued,
 		submittedAt: time.Now(),
 		dir:         dir,
@@ -100,12 +111,17 @@ type Status struct {
 	Scale       string    `json:"scale"`
 	Dataset     int       `json:"dataset"`
 	Isolation   string    `json:"isolation,omitempty"`
+	Shard       int       `json:"shard,omitempty"`
+	Shards      int       `json:"shards,omitempty"`
 	State       State     `json:"state"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
 	// Digest is the campaign's FigureDigest once done — the byte-exact
-	// string `hauberk-run -campaign-dir` prints for the same plan.
+	// string `hauberk-run -campaign-dir` prints for the same plan. Shard
+	// campaigns (Shards > 1) leave it empty: a shard's store is a
+	// partial plan by construction, and only the coordinator's cross-
+	// node merge may fold the figures.
 	Digest string `json:"digest,omitempty"`
 	Error  string `json:"error,omitempty"`
 	// Progress is the live tracker snapshot (completed/total, rate,
@@ -125,6 +141,8 @@ func (c *Campaign) Status() Status {
 		Scale:       c.ScaleName,
 		Dataset:     c.Dataset,
 		Isolation:   c.Isolation,
+		Shard:       c.Shard,
+		Shards:      shardsField(c.Shards),
 		State:       c.state,
 		SubmittedAt: c.submittedAt,
 		StartedAt:   c.startedAt,
@@ -133,6 +151,16 @@ func (c *Campaign) Status() Status {
 		Error:       c.errMsg,
 		Progress:    c.tracker.Snapshot(),
 	}
+}
+
+// shardsField maps the internal "1 means whole plan" to the wire's
+// "omitted means whole plan", so unsharded statuses keep their pre-fleet
+// JSON shape.
+func shardsField(shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return shards
 }
 
 // State returns the current lifecycle state.
@@ -153,6 +181,8 @@ type meta struct {
 	Scale       string    `json:"scale"`
 	Dataset     int       `json:"dataset"`
 	Isolation   string    `json:"isolation,omitempty"`
+	Shard       int       `json:"shard,omitempty"`
+	Shards      int       `json:"shards,omitempty"`
 	State       State     `json:"state"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
@@ -174,6 +204,8 @@ func (c *Campaign) persist() error {
 		Scale:       c.ScaleName,
 		Dataset:     c.Dataset,
 		Isolation:   c.Isolation,
+		Shard:       c.Shard,
+		Shards:      shardsField(c.Shards),
 		State:       c.state,
 		SubmittedAt: c.submittedAt,
 		StartedAt:   c.startedAt,
@@ -217,7 +249,11 @@ func loadMeta(dir string) (meta, error) {
 // (daemon restart). The telemetry plane is fresh — event history from
 // the previous process is gone, but the durable store is complete.
 func restoreCampaign(m meta, dir string) *Campaign {
-	c := newCampaign(m.ID, m.Tenant, m.Program, m.Scale, m.Dataset, m.Isolation, dir)
+	c := newCampaign(m.ID, Submission{
+		Tenant: m.Tenant, Program: m.Program, Scale: m.Scale,
+		Dataset: m.Dataset, Isolation: m.Isolation,
+		Shard: m.Shard, Shards: m.Shards,
+	}, dir)
 	c.state = m.State
 	c.submittedAt = m.SubmittedAt
 	c.startedAt = m.StartedAt

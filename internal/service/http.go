@@ -28,6 +28,11 @@ import (
 //	DELETE /v1/campaigns/{id}        cancel (dequeue or interrupt)
 //	GET    /v1/campaigns/{id}/events that campaign's live event feed
 //	                                 (NDJSON/SSE, ?replay=N)
+//	GET    /v1/campaigns/{id}/store  the campaign's durable store
+//	                                 (manifest + raw shard logs) for the
+//	                                 fleet coordinator's read-side merge
+//	GET    /v1/node                  the daemon's own health document
+//	                                 (draining, running/queued counts)
 //	GET    /metrics                  Prometheus text exposition
 //	GET    /healthz                  liveness
 //	GET    /readyz                   readiness (503 while draining)
@@ -48,6 +53,8 @@ func newAPIServer(d *Daemon) *apiServer {
 	mux.HandleFunc("GET /v1/campaigns/{id}", a.handleStatus)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", a.handleCancel)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", a.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{id}/store", a.handleStore)
+	mux.HandleFunc("GET /v1/node", a.handleNode)
 	mux.HandleFunc("GET /metrics", obshttp.MetricsHandler(d.reg, a.stamp))
 	mux.HandleFunc("GET /healthz", obshttp.HealthzHandler())
 	mux.HandleFunc("GET /readyz", obshttp.ReadyzHandler(func() (bool, string) {
@@ -179,6 +186,19 @@ func (a *apiServer) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (a *apiServer) handleStore(w http.ResponseWriter, r *http.Request) {
+	snap, err := a.d.StoreSnapshot(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (a *apiServer) handleNode(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.d.NodeStatus())
 }
 
 func (a *apiServer) handleEvents(w http.ResponseWriter, r *http.Request) {

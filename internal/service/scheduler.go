@@ -281,6 +281,13 @@ func (s *scheduler) Drain(ctx context.Context) error {
 	return s.AwaitIdle(ctx)
 }
 
+// Running returns how many campaigns are currently executing.
+func (s *scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
 // Queued snapshots every queued campaign (diagnostics/listing).
 func (s *scheduler) Queued() []*Campaign {
 	s.mu.Lock()

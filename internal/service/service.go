@@ -37,8 +37,12 @@ var (
 	testOptsHook func(*Campaign, *harness.CampaignOptions)
 )
 
-// setTestOptsHook installs (or, with nil, clears) the test hook.
-func setTestOptsHook(h func(*Campaign, *harness.CampaignOptions)) {
+// SetTestOptsHook installs (or, with nil, clears) a hook that may adjust
+// a campaign's run options just before execution starts. Test
+// instrumentation only — the fleet coordinator's drain/failover tests
+// use it to pin a remote shard mid-run at a deterministic record count;
+// it must never be set in production daemons.
+func SetTestOptsHook(h func(*Campaign, *harness.CampaignOptions)) {
 	testHookMu.Lock()
 	testOptsHook = h
 	testHookMu.Unlock()
@@ -95,6 +99,15 @@ type Submission struct {
 	Weight int `json:"weight"`
 	// Isolation overrides the daemon default ("off" or "process").
 	Isolation string `json:"isolation"`
+	// Shard/Shards, when Shards > 1, scope the campaign to plan indices
+	// where idx % Shards == Shard — the fleet coordinator's unit of
+	// dispatch. The plan is seeded, so every node derives the same full
+	// injection list and a shard submission is self-contained: this
+	// node's durable store holds exactly its shard's records, fetchable
+	// via GET /v1/campaigns/{id}/store for the coordinator's read-side
+	// merge. Shards <= 1 (the default) runs the whole plan.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
 // preparedEntry caches one (program, scale, dataset) preparation:
@@ -278,6 +291,14 @@ func (d *Daemon) Submit(sub Submission) (*Campaign, error) {
 	if sub.Isolation != harness.IsolationOff && sub.Isolation != harness.IsolationProcess {
 		return nil, fmt.Errorf("service: unknown isolation %q", sub.Isolation)
 	}
+	if sub.Shards <= 1 {
+		if sub.Shard != 0 {
+			return nil, fmt.Errorf("service: shard %d without shards", sub.Shard)
+		}
+		sub.Shard, sub.Shards = 0, 1
+	} else if sub.Shard < 0 || sub.Shard >= sub.Shards {
+		return nil, fmt.Errorf("service: shard %d/%d out of range", sub.Shard, sub.Shards)
+	}
 
 	d.mu.Lock()
 	if d.draining {
@@ -286,7 +307,7 @@ func (d *Daemon) Submit(sub Submission) (*Campaign, error) {
 	}
 	id := fmt.Sprintf("c%06d", d.nextID)
 	dir := filepath.Join(d.cfg.StoreRoot, id)
-	c := newCampaign(id, sub.Tenant, sub.Program, sub.Scale, sub.Dataset, sub.Isolation, dir)
+	c := newCampaign(id, sub, dir)
 	if err := d.sched.Submit(c, sub.Weight); err != nil {
 		d.mu.Unlock()
 		d.reg.Counter("hauberkd_rejections_total", "tenant", sub.Tenant).Inc()
@@ -428,6 +449,8 @@ func (d *Daemon) execute(c *Campaign) {
 		Dir:       c.dir,
 		Resume:    resume,
 		Isolation: c.Isolation,
+		Shard:     c.Shard,
+		Shards:    c.Shards,
 	}
 	applyTestOptsHook(c, &opts)
 	_, err = env.RunPrepared(ctx, pc, opts)
@@ -454,19 +477,25 @@ func (d *Daemon) execute(c *Campaign) {
 	case err != nil:
 		d.fail(c, err)
 	default:
-		// Digest through the identical path the CLI prints: load the
-		// durable store back and fold the merged result. Byte-identity
-		// with `hauberk-run -campaign-dir` is the service's correctness
-		// contract.
-		_, merged, derr := harness.LoadCampaignDir(c.dir)
-		if derr != nil {
-			d.fail(c, fmt.Errorf("load store: %w", derr))
-			return
+		var digest string
+		if c.Shards <= 1 {
+			// Digest through the identical path the CLI prints: load the
+			// durable store back and fold the merged result. Byte-identity
+			// with `hauberk-run -campaign-dir` is the service's correctness
+			// contract. Shard campaigns skip this: a shard's store is a
+			// partial plan, and only the fleet coordinator's cross-node
+			// merge may fold the figures.
+			_, merged, derr := harness.LoadCampaignDir(c.dir)
+			if derr != nil {
+				d.fail(c, fmt.Errorf("load store: %w", derr))
+				return
+			}
+			digest = merged.FigureDigest()
 		}
 		c.mu.Lock()
 		c.cancel = nil
 		c.state = StateDone
-		c.digest = merged.FigureDigest()
+		c.digest = digest
 		c.finishedAt = time.Now()
 		c.mu.Unlock()
 		d.finish(c, StateDone)

@@ -115,7 +115,7 @@ func TestDaemonRestartResumeDigest(t *testing.T) {
 	}
 	progressed := make(chan struct{})
 	var once sync.Once
-	setTestOptsHook(func(c *Campaign, opts *harness.CampaignOptions) {
+	SetTestOptsHook(func(c *Campaign, opts *harness.CampaignOptions) {
 		opts.OnResult = func(done, total int) {
 			if done >= 3 {
 				once.Do(func() { close(progressed) })
@@ -126,7 +126,7 @@ func TestDaemonRestartResumeDigest(t *testing.T) {
 			}
 		}
 	})
-	defer setTestOptsHook(nil)
+	defer SetTestOptsHook(nil)
 
 	if err := d.Start(); err != nil {
 		t.Fatalf("Start: %v", err)
@@ -148,7 +148,7 @@ func TestDaemonRestartResumeDigest(t *testing.T) {
 	if st := c.State(); st != StateInterrupted {
 		t.Fatalf("after drain campaign is %s, want interrupted", st)
 	}
-	setTestOptsHook(nil)
+	SetTestOptsHook(nil)
 
 	d2 := startDaemon(t, storeRoot, 1, 16)
 	c2, err := d2.Get(c.ID)
@@ -173,7 +173,7 @@ func TestDaemonCancelQueuedVsRunning(t *testing.T) {
 	running := make(chan struct{})
 	resume := make(chan struct{})
 	var once sync.Once
-	setTestOptsHook(func(c *Campaign, opts *harness.CampaignOptions) {
+	SetTestOptsHook(func(c *Campaign, opts *harness.CampaignOptions) {
 		if c.ScaleName != "quick" {
 			return
 		}
@@ -184,7 +184,7 @@ func TestDaemonCancelQueuedVsRunning(t *testing.T) {
 			<-resume
 		}
 	})
-	defer setTestOptsHook(nil)
+	defer SetTestOptsHook(nil)
 
 	d := startDaemon(t, t.TempDir(), 1, 16)
 	first, err := d.Submit(Submission{Program: "CP", Scale: "quick"})
@@ -240,10 +240,10 @@ func TestDaemonCancelQueuedVsRunning(t *testing.T) {
 // unknown ids, and list/status/cancel round-trips.
 func TestDaemonHTTPAdmission(t *testing.T) {
 	blocked := make(chan struct{})
-	setTestOptsHook(func(c *Campaign, opts *harness.CampaignOptions) {
+	SetTestOptsHook(func(c *Campaign, opts *harness.CampaignOptions) {
 		opts.OnResult = func(done, total int) { <-blocked } // pin the slot
 	})
-	defer setTestOptsHook(nil)
+	defer SetTestOptsHook(nil)
 
 	d := startDaemon(t, t.TempDir(), 1, 1)
 	// Registered after startDaemon so it runs before the daemon's
@@ -442,7 +442,10 @@ func TestSubmissionValidation(t *testing.T) {
 // TestMetaRoundTrip checks the submission.json atomic persistence.
 func TestMetaRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	c := newCampaign("c000042", "acme", "SAD", "quick", 1, "process", dir)
+	c := newCampaign("c000042", Submission{
+		Tenant: "acme", Program: "SAD", Scale: "quick", Dataset: 1,
+		Isolation: "process", Shard: 2, Shards: 3,
+	}, dir)
 	c.mu.Lock()
 	c.state = StateInterrupted
 	c.digest = "partial"
@@ -456,11 +459,15 @@ func TestMetaRoundTrip(t *testing.T) {
 	}
 	if m.ID != "c000042" || m.Tenant != "acme" || m.Program != "SAD" ||
 		m.Scale != "quick" || m.Dataset != 1 || m.Isolation != "process" ||
+		m.Shard != 2 || m.Shards != 3 ||
 		m.State != StateInterrupted || m.Digest != "partial" {
 		t.Fatalf("round-trip mismatch: %+v", m)
 	}
 	r := restoreCampaign(m, dir)
 	if r.State() != StateInterrupted || r.ID != c.ID {
 		t.Fatalf("restore mismatch: %s %s", r.ID, r.State())
+	}
+	if r.Shard != 2 || r.Shards != 3 {
+		t.Fatalf("restore lost the shard scope: %d/%d", r.Shard, r.Shards)
 	}
 }
